@@ -1,0 +1,29 @@
+# Convenience targets for the Basil reproduction.
+
+.PHONY: install test bench quick-bench examples figures clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	pytest benchmarks/ --benchmark-only -s 2>&1 | tee bench_output.txt
+
+quick-bench:
+	REPRO_QUICK=1 pytest benchmarks/ --benchmark-only -q -s
+
+examples:
+	python examples/quickstart.py
+	python examples/banking.py
+	python examples/social_network.py
+	python examples/byzantine_recovery.py
+	python examples/multi_shard_tpcc.py
+
+figures:
+	python -m repro.bench all
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache src/repro.egg-info .benchmarks

@@ -1,0 +1,43 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Set ``REPRO_QUICK=1`` to run heavily scaled-down versions (for smoke
+testing the harness rather than reproducing shapes).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import DEFAULT_SCALE, Scale, fig4_systems
+
+
+def current_scale() -> Scale:
+    if os.environ.get("REPRO_QUICK"):
+        return Scale.quick()
+    return DEFAULT_SCALE
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def strict() -> bool:
+    """Shape assertions need CPU-saturating load; quick mode skips them."""
+    return not os.environ.get("REPRO_QUICK")
+
+
+_FIG4_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def fig4_cache():
+    """Figure 4 runs are shared between the throughput and latency files."""
+
+    def get(app: str):
+        if app not in _FIG4_CACHE:
+            _FIG4_CACHE[app] = fig4_systems(app, scale=current_scale())
+        return _FIG4_CACHE[app]
+
+    return get

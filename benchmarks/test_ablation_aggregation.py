@@ -1,0 +1,43 @@
+"""Ablation: Sec 4.4's signature-aggregation optimization.
+
+The paper describes aggregating matching ST1R/ST2R signatures (making
+communication linear and certificate checks one verification) but the
+Basil prototype does not implement it.  This bench measures what the
+optimization would buy on the crypto-bound uniform workload.
+"""
+
+from repro.bench.report import render_table, throughput_ratio
+from repro.bench.runner import ExperimentRunner
+from repro.config import CryptoConfig, SystemConfig
+from repro.core.system import BasilSystem
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def _run(scale, aggregate):
+    config = SystemConfig(
+        f=1, batch_size=4, crypto=CryptoConfig(signature_aggregation=aggregate)
+    )
+    system = BasilSystem(config)
+    wl = YCSBWorkload(num_keys=scale.ycsb_keys, reads=2, writes=2)
+    name = "aggregated" if aggregate else "per-signature"
+    return ExperimentRunner(
+        system, wl, num_clients=scale.clients, duration=scale.duration,
+        warmup=scale.warmup, name=name,
+    ).run()
+
+
+def ablation_aggregation(scale):
+    return {
+        "per-signature": _run(scale, aggregate=False),
+        "aggregated": _run(scale, aggregate=True),
+    }
+
+
+def test_ablation_signature_aggregation(benchmark, scale, strict):
+    results = benchmark.pedantic(ablation_aggregation, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Ablation — signature aggregation (RW-U)", results))
+    gain = throughput_ratio(results, "aggregated", "per-signature")
+    print(f"  aggregation speedup: {gain:.2f}x (paper: unimplemented; 'can be made linear')")
+    if strict:
+        assert gain > 1.0, "aggregation must relieve the verification bottleneck"

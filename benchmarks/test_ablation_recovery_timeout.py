@@ -1,0 +1,56 @@
+"""Ablation: how aggressively should clients chase stalled dependencies?
+
+DESIGN.md calls out the dependency timeout as a load-bearing choice: the
+paper says correct clients "aggressively finish" stalled transactions.
+This bench sweeps the timeout under a 30% stall-early Byzantine client
+population and reports correct-client throughput.
+"""
+
+from repro.bench.runner import ExperimentRunner
+from repro.byzantine.clients import ByzantineClient
+from repro.config import SystemConfig
+from repro.core.system import BasilSystem
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def one_point(scale, timeout):
+    config = SystemConfig(f=1, batch_size=4, dependency_timeout=timeout)
+    system = BasilSystem(config)
+    wl = YCSBWorkload(num_keys=scale.ycsb_keys, reads=2, writes=2, distribution="zipfian")
+    num_byz = max(1, round(scale.clients * 0.3))
+    factories = []
+    for i in range(scale.clients):
+        if i < num_byz:
+            factories.append(
+                lambda s=system: s.create_client(
+                    client_class=ByzantineClient, behaviour="stall-early",
+                    faulty_fraction=1.0,
+                )
+            )
+        else:
+            factories.append(lambda s=system: s.create_client())
+    return ExperimentRunner(
+        system, wl, num_clients=scale.clients, duration=scale.duration,
+        warmup=scale.warmup, name=f"dep-timeout={timeout * 1000:.0f}ms",
+        client_factories=factories,
+    ).run()
+
+
+def sweep(scale):
+    return {t: one_point(scale, t) for t in (0.002, 0.005, 0.02, 0.05)}
+
+
+def test_ablation_dependency_timeout(benchmark, scale, strict):
+    results = benchmark.pedantic(sweep, args=(scale,), rounds=1, iterations=1)
+    print()
+    print("--- Ablation — dependency timeout under 30% stall-early clients ---")
+    for timeout, result in results.items():
+        correct = result.extra.get("correct_throughput", result.throughput)
+        print(f"  timeout {timeout * 1000:5.0f} ms: correct throughput {correct:9.1f} tx/s"
+              f"  ({result.row()})")
+    correct = {
+        t: r.extra.get("correct_throughput", r.throughput) for t, r in results.items()
+    }
+    if strict:
+        # aggressive recovery must beat very lazy recovery
+        assert max(correct[0.002], correct[0.005]) > correct[0.05] * 0.8

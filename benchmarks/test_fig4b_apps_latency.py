@@ -1,0 +1,30 @@
+"""Figure 4b: application latency, four systems, three apps.
+
+Paper shapes (TPC-C): Basil's latency is ~4.2x TAPIR's; Basil is 2.4x
+lower than TxHotStuff and 1.2x lower than TxBFT-SMaRt.
+"""
+
+import pytest
+
+from repro.bench.report import latency_ratio, render_table
+
+
+@pytest.mark.parametrize("app", ["tpcc", "smallbank", "retwis"])
+def test_fig4b_latency(benchmark, fig4_cache, app, strict):
+    results = benchmark.pedantic(fig4_cache, args=(app,), rounds=1, iterations=1)
+    print()
+    print(render_table(f"Fig 4b — {app} latency", results))
+    print(f"  basil/tapir latency: {latency_ratio(results, 'basil', 'tapir'):.2f}x"
+          f"  (paper TPC-C: 4.2x)")
+    print(f"  txhotstuff/basil latency: {latency_ratio(results, 'txhotstuff', 'basil'):.2f}x"
+          f"  (paper TPC-C: 2.4x)")
+    print(f"  txbftsmart/basil latency: {latency_ratio(results, 'txbftsmart', 'basil'):.2f}x"
+          f"  (paper TPC-C: 1.2x)")
+    if not strict:
+        return
+    # Basil (Byzantine) must pay more latency than TAPIR (crash-only).
+    assert results["basil"].mean_latency > results["tapir"].mean_latency
+    # the ordered-shard baselines pay more than Basil on the skewed apps
+    if app in ("smallbank", "retwis"):
+        assert results["txhotstuff"].mean_latency > results["basil"].mean_latency
+        assert results["txbftsmart"].mean_latency > results["basil"].mean_latency

@@ -1,0 +1,22 @@
+"""Figure 5a: the cost of cryptography.
+
+Paper shape: Basil without signatures is 3.7x faster on the uniform
+workload and up to 4.6x faster on the skewed one (freed cores + lower
+latency => fewer conflicts).
+"""
+
+from repro.bench.experiments import fig5a_crypto_cost
+from repro.bench.report import render_table, throughput_ratio
+
+
+def test_fig5a_crypto_cost(benchmark, scale, strict):
+    results = benchmark.pedantic(fig5a_crypto_cost, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Fig 5a — Basil with vs without signatures", results))
+    ru = throughput_ratio(results, "basil-rw-u-nosig", "basil-rw-u-sig")
+    rz = throughput_ratio(results, "basil-rw-z-nosig", "basil-rw-z-sig")
+    print(f"  no-crypto speedup RW-U: {ru:.2f}x (paper: 3.7x)")
+    print(f"  no-crypto speedup RW-Z: {rz:.2f}x (paper: 4.6x)")
+    if strict:
+        assert ru > 1.5, "removing signatures must raise throughput substantially"
+        assert rz > 1.5

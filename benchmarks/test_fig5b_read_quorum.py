@@ -1,0 +1,22 @@
+"""Figure 5b: the price of Byzantine-independent reads.
+
+Paper shape: on a read-only workload (24 reads/txn), reading from f+1
+replicas costs ~20% throughput vs reading from one, and 2f+1 costs a
+further ~16%.
+"""
+
+from repro.bench.experiments import fig5b_read_quorum
+from repro.bench.report import render_table
+
+
+def test_fig5b_read_quorum(benchmark, scale, strict):
+    results = benchmark.pedantic(fig5b_read_quorum, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Fig 5b — read quorum size (read-only, 24 reads/txn)", results))
+    t1 = results["q=1"].throughput
+    t2 = results["q=f+1"].throughput
+    t3 = results["q=2f+1"].throughput
+    print(f"  q=1 -> q=f+1 drop: {100 * (1 - t2 / t1):.1f}% (paper: ~20%)")
+    print(f"  q=f+1 -> q=2f+1 drop: {100 * (1 - t3 / t2):.1f}% (paper: ~16%)")
+    if strict:
+        assert t1 > t2 > t3, "larger read quorums must cost throughput"

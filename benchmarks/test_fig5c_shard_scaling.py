@@ -1,0 +1,22 @@
+"""Figure 5c: shard scaling and the per-shard signature tax.
+
+Paper shape: going from 1 to 3 shards on the CPU-bound uniform workload
+scales Basil-without-crypto by ~1.9x but Basil-with-crypto by only
+~1.3x, because cross-shard transactions need a signature per shard.
+"""
+
+from repro.bench.experiments import fig5c_shard_scaling
+from repro.bench.report import render_table
+
+
+def test_fig5c_shard_scaling(benchmark, scale, strict):
+    results = benchmark.pedantic(fig5c_shard_scaling, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Fig 5c — 1 vs 3 shards (3 reads + 3 writes)", results))
+    nosig = results["nosig-3shard"].throughput / results["nosig-1shard"].throughput
+    sig = results["sig-3shard"].throughput / results["sig-1shard"].throughput
+    print(f"  no-crypto scaling 1->3 shards: {nosig:.2f}x (paper: 1.9x)")
+    print(f"  crypto scaling 1->3 shards:    {sig:.2f}x (paper: 1.3x)")
+    if strict:
+        assert nosig > 1.0, "sharding must add capacity without crypto"
+        assert sig <= nosig + 0.3, "crypto must blunt shard scaling"

@@ -1,0 +1,25 @@
+"""Figure 6a: the value of the commit fast path.
+
+Paper shape: enabling the fast path gains ~19% on the uniform workload
+and ~49% on the contended Zipfian one (the extra ST2 round lengthens
+the conflict window).
+"""
+
+from repro.bench.experiments import fig6a_fast_path
+from repro.bench.report import render_table, throughput_ratio
+
+
+def test_fig6a_fast_path(benchmark, scale, strict):
+    results = benchmark.pedantic(fig6a_fast_path, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Fig 6a — fast path on/off", results))
+    gain_u = throughput_ratio(results, "rw-u-fp", "rw-u-nofp") - 1
+    gain_z = throughput_ratio(results, "rw-z-fp", "rw-z-nofp") - 1
+    print(f"  fast-path gain RW-U: {100 * gain_u:.1f}% (paper: ~19%)")
+    print(f"  fast-path gain RW-Z: {100 * gain_z:.1f}% (paper: ~49%)")
+    assert results["rw-u-fp"].fast_path_rate > 0.9
+    assert results["rw-u-nofp"].fast_path_rate == 0.0
+    if strict:
+        # the CPU-bound uniform workload must benefit; the contended
+        # zipfian gain is printed (it is noisy at simulation scale)
+        assert results["rw-u-fp"].throughput > results["rw-u-nofp"].throughput

@@ -1,0 +1,33 @@
+"""Figure 6b: reply-batching sweep.
+
+Paper shape: the resource-bound uniform workload gains up to ~4x,
+peaking at b=16; the contended Zipfian workload gains only ~1.4x,
+peaking at a small batch (b=4) and degrading beyond it as batch-induced
+latency raises contention.
+"""
+
+from repro.bench.experiments import fig6b_batching
+from repro.bench.report import render_table
+
+
+def test_fig6b_batching(benchmark, scale, strict):
+    results = benchmark.pedantic(fig6b_batching, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(render_table("Fig 6b — batch size sweep (2 reads + 2 writes)", results))
+    gains = {}
+    for tag, paper_peak in (("rw-u", 16), ("rw-z", 4)):
+        series = {
+            int(name.split("-b")[1]): r.throughput
+            for name, r in results.items()
+            if name.startswith(tag)
+        }
+        peak = max(series, key=series.get)
+        gains[tag] = series[peak] / series[1]
+        print(f"  {tag}: peak at b={peak} with {gains[tag]:.2f}x over b=1 "
+              f"(paper: peak b={paper_peak}, gains 4x / 1.4x)")
+        if strict and tag == "rw-u":
+            assert series[peak] > series[1], "batching must help when CPU-bound"
+    if strict:
+        # batching must help the CPU-bound uniform workload more than the
+        # contention-bound zipfian one
+        assert gains["rw-u"] >= gains["rw-z"] * 0.9

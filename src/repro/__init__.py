@@ -1,0 +1,53 @@
+"""repro — a from-scratch reproduction of Basil (SOSP 2021).
+
+Basil is a leaderless, transactional, Byzantine fault-tolerant key-value
+store.  This package implements the full Basil protocol, the substrates it
+depends on (a deterministic discrete-event simulator, a modeled crypto
+layer, a multiversion store), the paper's baselines (TAPIR, TxHotStuff,
+TxBFT-SMaRt), its workloads (YCSB-T, Smallbank, Retwis, TPC-C), and a
+benchmark harness that regenerates every figure in the paper's evaluation.
+
+Quickstart::
+
+    from repro import BasilSystem, SystemConfig
+
+    system = BasilSystem(SystemConfig(num_shards=1, f=1))
+    system.load({"k": b"v0"})
+
+    async def txn(session):
+        value = await session.read("k")
+        session.write("k", b"v1")
+
+    result = system.run_transaction(txn)
+    assert result.committed
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasilSystem",
+    "SystemConfig",
+    "TransactionResult",
+    "TransactionSession",
+    "__version__",
+]
+
+_EXPORTS = {
+    "SystemConfig": ("repro.config", "SystemConfig"),
+    "TransactionResult": ("repro.core.api", "TransactionResult"),
+    "TransactionSession": ("repro.core.api", "TransactionSession"),
+    "BasilSystem": ("repro.core.system", "BasilSystem"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the public API so subpackages import independently."""
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

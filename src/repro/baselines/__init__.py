@@ -1,0 +1,30 @@
+"""The paper's comparison systems, built from scratch on the same substrate.
+
+* :mod:`repro.baselines.tapir` — TAPIR (SOSP'15): a non-Byzantine
+  replicated database combining inconsistent replication with OCC;
+  n = 2f+1 per shard, no signatures, single-round-trip fast path.
+* :mod:`repro.baselines.smr` — totally ordered Byzantine SMR shards:
+  a PBFT-style protocol (the BFT-SMaRt analogue, 5 message delays) and
+  chained HotStuff (9 message delays, rotating leaders, pipelining).
+* :mod:`repro.baselines.txsmr` — the conventional architecture the paper
+  argues against: OCC + 2PC layered above totally ordered SMR shards
+  (TxHotStuff / TxBFT-SMaRt).
+
+All three expose the same session API as Basil so workloads and the
+benchmark harness are system-agnostic.
+"""
+
+__all__ = ["TapirSystem", "TxSMRSystem"]
+
+
+def __getattr__(name: str):
+    """Lazy exports so each baseline imports independently."""
+    if name == "TapirSystem":
+        from repro.baselines.tapir.system import TapirSystem
+
+        return TapirSystem
+    if name == "TxSMRSystem":
+        from repro.baselines.txsmr.system import TxSMRSystem
+
+        return TxSMRSystem
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

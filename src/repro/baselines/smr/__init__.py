@@ -1,0 +1,19 @@
+"""Totally ordered Byzantine state machine replication substrates.
+
+Both protocols expose the same contract (:mod:`repro.baselines.smr.log`):
+clients submit opaque operations; replicas apply them in a single total
+order to a pluggable state machine and reply.  The transaction layer in
+:mod:`repro.baselines.txsmr` layers OCC + 2PC on top, one SMR group per
+shard — exactly the architecture the paper compares against.
+
+* :mod:`repro.baselines.smr.pbft` — stable-leader PBFT (the BFT-SMaRt
+  analogue): pre-prepare/prepare/commit, five message delays from client
+  request to reply.
+* :mod:`repro.baselines.smr.hotstuff` — chained HotStuff: rotating
+  leaders, pipelined quorum certificates, 3-chain commit; roughly nine
+  message delays from request to reply.
+"""
+
+from repro.baselines.smr.log import SMRClient, StateMachine
+
+__all__ = ["SMRClient", "StateMachine"]

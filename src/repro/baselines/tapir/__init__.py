@@ -1,0 +1,15 @@
+"""TAPIR: Building Consistent Transactions with Inconsistent Replication.
+
+The paper's non-Byzantine comparator (Zhang et al., SOSP 2015).  Key
+behavioural properties reproduced here:
+
+* n = 2f + 1 replicas per shard, crash faults only, **no signatures**;
+* reads served by a single replica;
+* prepare sent to all replicas; a unanimous fast quorum commits in one
+  round trip, otherwise a second (slow/confirm) round is required;
+* timestamp-ordering OCC validation at each replica.
+"""
+
+from repro.baselines.tapir.system import TapirSystem
+
+__all__ = ["TapirSystem"]

@@ -1,0 +1,12 @@
+"""OCC + 2PC layered above totally ordered SMR shards.
+
+This is the conventional sharded-BFT architecture the paper compares
+against (TxHotStuff and TxBFT-SMaRt): every shard is one SMR group;
+transactions are prepared and committed as *two ordered operations per
+shard*, with cross-shard vote proofs verified by every replica — the
+redundant-coordination cost Basil's design eliminates.
+"""
+
+from repro.baselines.txsmr.system import TxSMRSystem
+
+__all__ = ["TxSMRSystem"]

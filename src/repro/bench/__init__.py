@@ -1,0 +1,14 @@
+"""Benchmark harness: closed-loop clients, measurement, paper figures.
+
+* :mod:`repro.bench.runner` — run a workload against any system
+  (Basil, TAPIR, TxSMR) with closed-loop clients, warm-up exclusion and
+  abort/retry handling, yielding throughput/latency/commit-rate results.
+* :mod:`repro.bench.experiments` — one entry point per paper figure
+  (4a/4b, 5a/5b/5c, 6a/6b, 7a/7b), with scaled-down default parameters.
+* :mod:`repro.bench.report` — renders the same rows/series the paper
+  reports, including ratios between systems.
+"""
+
+from repro.bench.runner import BenchResult, ExperimentRunner
+
+__all__ = ["BenchResult", "ExperimentRunner"]

@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench fig4 --app smallbank
+    python -m repro.bench fig5a
+    python -m repro.bench fig5b
+    python -m repro.bench fig5c
+    python -m repro.bench fig6a
+    python -m repro.bench fig6b
+    python -m repro.bench fig7 --dist zipfian
+    python -m repro.bench all --quick
+
+``--quick`` shrinks populations/durations for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments as exp
+from repro.bench.report import render_series, render_table
+
+
+def _scale(args) -> exp.Scale:
+    return exp.Scale.quick() if args.quick else exp.DEFAULT_SCALE
+
+
+def cmd_fig4(args) -> None:
+    apps = [args.app] if args.app else list(exp.APP_WORKLOADS)
+    for app in apps:
+        results = exp.fig4_systems(app, scale=_scale(args))
+        print(render_table(f"Fig 4 — {app}", results))
+
+
+def cmd_fig5a(args) -> None:
+    print(render_table("Fig 5a — crypto cost", exp.fig5a_crypto_cost(_scale(args))))
+
+
+def cmd_fig5b(args) -> None:
+    print(render_table("Fig 5b — read quorum", exp.fig5b_read_quorum(_scale(args))))
+
+
+def cmd_fig5c(args) -> None:
+    print(render_table("Fig 5c — shard scaling", exp.fig5c_shard_scaling(_scale(args))))
+
+
+def cmd_fig6a(args) -> None:
+    print(render_table("Fig 6a — fast path", exp.fig6a_fast_path(_scale(args))))
+
+
+def cmd_fig6b(args) -> None:
+    print(render_table("Fig 6b — batching", exp.fig6b_batching(_scale(args))))
+
+
+def cmd_fig7(args) -> None:
+    results = exp.fig7_failures(args.dist, scale=_scale(args))
+    for behaviour, series in results.items():
+        print(render_series(f"Fig 7 — {behaviour} ({args.dist})", series))
+
+
+def cmd_all(args) -> None:
+    cmd_fig4(args)
+    cmd_fig5a(args)
+    cmd_fig5b(args)
+    cmd_fig5c(args)
+    cmd_fig6a(args)
+    cmd_fig6b(args)
+    for dist in ("uniform", "zipfian"):
+        args.dist = dist
+        cmd_fig7(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the Basil paper's evaluation figures.",
+    )
+    parser.add_argument("--quick", action="store_true", help="scaled-down smoke run")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p4 = sub.add_parser("fig4", help="application throughput/latency (4 systems)")
+    p4.add_argument("--app", choices=sorted(exp.APP_WORKLOADS), default=None)
+    p4.set_defaults(func=cmd_fig4)
+    for name, func in (
+        ("fig5a", cmd_fig5a), ("fig5b", cmd_fig5b), ("fig5c", cmd_fig5c),
+        ("fig6a", cmd_fig6a), ("fig6b", cmd_fig6b),
+    ):
+        sub.add_parser(name).set_defaults(func=func)
+    p7 = sub.add_parser("fig7", help="Byzantine client failure sweeps")
+    p7.add_argument("--dist", choices=["uniform", "zipfian"], default="zipfian")
+    p7.set_defaults(func=cmd_fig7)
+    pall = sub.add_parser("all", help="run every figure")
+    pall.add_argument("--dist", default="zipfian", help=argparse.SUPPRESS)
+    pall.set_defaults(func=cmd_all)
+
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

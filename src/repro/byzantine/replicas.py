@@ -1,0 +1,118 @@
+"""Byzantine replica behaviours.
+
+Each class subclasses the honest replica and perverts exactly one
+behaviour; all still hold only their own signing key, so their lies are
+constrained to what the protocol's validity checks cannot distinguish.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.messages import (
+    CommittedRead,
+    PrepareRequest,
+    PrepareVote,
+    ReadReply,
+    ReadRequest,
+    Vote,
+)
+from repro.core.replica import BasilReplica
+from repro.core.certificates import GENESIS_CERT, GENESIS_TXID
+
+
+class SilentReplica(BasilReplica):
+    """Totally unresponsive: models a crashed or isolated replica."""
+
+    async def handle_message(self, sender: str, message: Any) -> None:
+        return
+
+
+class PrepareAbstainingReplica(BasilReplica):
+    """Ignores ST1 requests, disabling the commit fast path (Sec 6.3):
+    the remaining 5 replicas can reach a CQ (3f+1) but never 5f+1."""
+
+    async def handle_message(self, sender: str, message: Any) -> None:
+        if isinstance(message, PrepareRequest):
+            return
+        await super().handle_message(sender, message)
+
+
+class StaleReadReplica(BasilReplica):
+    """Answers reads with the *oldest* committed version it has.
+
+    The version is real (it validates), but it is stale: clients reading
+    from f+1 replicas pick the highest-timestamped valid reply, so this
+    replica cannot make a correct client read stale data — it can only
+    waste its own vote (Theorem 2's argument, tested directly).
+    """
+
+    def build_read_reply(self, req: ReadRequest) -> ReadReply:
+        reply = super().build_read_reply(req)
+        versions = self.store.committed_versions(req.key)
+        if versions:
+            oldest = versions[0]
+            cert = GENESIS_CERT
+            writer_tx = None
+            if oldest.writer != GENESIS_TXID:
+                state = self.tx_states.get(oldest.writer)
+                cert = state.cert if state else None
+                writer_tx = state.tx if state else None
+            if cert is not None:
+                return ReadReply(
+                    req_id=req.req_id,
+                    key=req.key,
+                    replica=self.name,
+                    committed=CommittedRead(
+                        version=oldest.timestamp, value=oldest.value,
+                        cert=cert, tx=writer_tx,
+                    ),
+                    prepared=None,
+                )
+        return reply
+
+
+class FabricatingReadReplica(BasilReplica):
+    """Invents values out of thin air (with a bogus 'genesis' proof).
+
+    Correct clients must reject these: a non-genesis version claiming the
+    genesis certificate fails validity, so the fabrication never becomes
+    a dependency (Sec 4.1's "imaginary values" attack).
+    """
+
+    def build_read_reply(self, req: ReadRequest) -> ReadReply:
+        from repro.core.timestamps import Timestamp
+
+        fake_version = Timestamp(time=req.timestamp.time - 1, client_id=0)
+        return ReadReply(
+            req_id=req.req_id,
+            key=req.key,
+            replica=self.name,
+            committed=CommittedRead(
+                version=fake_version, value=b"fabricated", cert=GENESIS_CERT, tx=None
+            ),
+            prepared=None,
+        )
+
+
+class EquivocatingVoteReplica(BasilReplica):
+    """Alternates its ST1R vote per request: commit, abort, commit, ...
+
+    Models vote equivocation towards different clients.  Quorum
+    intersection (Lemma 2) keeps decisions unique regardless.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._flip = False
+
+    async def _reply_prepare(self, sender: str, req, state) -> None:
+        self._flip = not self._flip
+        forced_vote = Vote.COMMIT if self._flip else Vote.ABORT
+        payload = PrepareVote(
+            txid=req.tx.txid, replica=self.name, vote=forced_vote, conflict=None
+        )
+        att = await self.batcher.attest(payload)
+        from repro.core.messages import PrepareReply
+
+        self.network.send(self, sender, PrepareReply(req_id=req.req_id, attestation=att))

@@ -1,0 +1,210 @@
+"""Configuration objects for systems, networks, and cost models.
+
+All tunables referenced in the paper's evaluation (replication factor,
+batch size, read-quorum size, clock-skew bound delta, crypto on/off, shard
+count) live here so that experiments are plain data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+#: Convenient time units (the simulator's clock is in seconds).
+US = 1e-6
+MS = 1e-3
+SECOND = 1.0
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Shape of the simulated network.
+
+    Defaults approximate the paper's CloudLab m510 testbed: 0.15 ms ping,
+    i.e. 75 us one-way latency, with mild jitter.
+    """
+
+    one_way_latency: float = 75 * US
+    jitter: float = 10 * US
+    #: Probability an individual message is dropped (retransmission is the
+    #: sender's problem; Basil clients re-send on timeout).
+    drop_rate: float = 0.0
+
+
+@dataclass(frozen=True)
+class CryptoConfig:
+    """Cost model for cryptographic operations, charged in simulated time.
+
+    Defaults are calibrated to ed25519-donna on a 2 GHz core (the paper's
+    hardware): ~52 us per signature, ~130 us per verification, and SHA-256
+    hashing at ~0.4 us per 256-byte block.
+    """
+
+    enabled: bool = True
+    sign_cost: float = 52 * US
+    verify_cost: float = 130 * US
+    hash_cost_per_block: float = 0.4 * US
+    hash_block_bytes: int = 256
+    #: Whether clients sign state-changing requests (ST1/ST2/writeback,
+    #: and the SMR baselines' ordered ops) and replicas verify them.
+    #: Reads are session-MAC'd (negligible) in every system.
+    authenticate_requests: bool = True
+    #: Sec 4.4 "Signature Aggregation": when on, verifying a quorum of
+    #: matching votes costs one signature verification plus a hash per
+    #: vote (BLS-style aggregate), instead of one verification per vote.
+    #: The paper describes this optimization but leaves it unimplemented;
+    #: benchmarks/test_ablation_aggregation.py measures what it buys.
+    signature_aggregation: bool = False
+
+    def hash_cost(self, nbytes: int) -> float:
+        """Simulated CPU time to hash ``nbytes`` bytes."""
+        if not self.enabled:
+            return 0.0
+        blocks = max(1, (nbytes + self.hash_block_bytes - 1) // self.hash_block_bytes)
+        return blocks * self.hash_cost_per_block
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Compute shape of one server: paper uses 8-core 2.0 GHz machines."""
+
+    cores: int = 8
+    #: Baseline (non-crypto) CPU time to parse/process one message.
+    message_overhead: float = 4 * US
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Top-level configuration for a Basil (or baseline) deployment."""
+
+    #: Number of tolerated Byzantine replicas per shard.
+    f: int = 1
+    num_shards: int = 1
+    #: Clock-skew admission bound (the paper's delta, sized from NTP skew).
+    delta: float = 50 * MS
+    #: Per-node clock offset is drawn uniformly from [-skew, +skew].
+    clock_skew: float = 1 * MS
+
+    #: Reply-batching factor b (Sec 4.4).  1 disables batching.
+    batch_size: int = 4
+    #: Max time a replica holds a partial batch before flushing it.
+    batch_timeout: float = 0.3 * MS
+
+    #: Consensus batch size for the SMR baselines (the paper found
+    #: TxHotStuff best at 4 and TxBFT-SMaRt at 16).
+    smr_batch_size: int = 16
+    #: BFT-SMaRt-style batch wait: the leader holds a partial batch for
+    #: this long before ordering it (drives the baselines' latency under
+    #: light or contention-throttled load; at saturation batches fill
+    #: long before the timeout).
+    smr_batch_timeout: float = 8 * MS
+    #: Minimum spacing between HotStuff rounds (pacemaker + batch
+    #: formation); the source of HotStuff's higher decision latency —
+    #: a block needs three successor rounds to commit.
+    hotstuff_round_interval: float = 5 * MS
+    #: PBFT view change: if set, replicas suspect a silent leader after
+    #: this many seconds without progress on outstanding work and elect
+    #: the next one.  None (default) runs the fault-free configuration
+    #: the paper benchmarks.
+    pbft_view_change_timeout: float | None = None
+    #: Serial state-machine execution cost per ordered op (OCC check /
+    #: apply) — SMR executes on one logical core, unlike Basil's
+    #: per-transaction parallelism.  Total cost scales with the op's
+    #: read/write-set size (a 35-item TPC-C new-order costs far more to
+    #: validate and apply than a 3-item Smallbank op).
+    smr_exec_cost: float = 20 * US
+    smr_exec_cost_per_item: float = 8 * US
+
+    #: Number of replies a client waits for on reads.  The paper requires
+    #: f+1 for Byzantine independence; Fig 5b sweeps {1, f+1, 2f+1}.
+    read_quorum: int | None = None  # None -> f + 1
+    #: Number of replicas a read request is sent to (paper: 2f+1).
+    read_fanout: int | None = None  # None -> 2f + 1
+
+    #: Whether the commit fast path is enabled (Fig 6a sweeps this).
+    fast_path_enabled: bool = True
+
+    #: Client-side retry/backoff for aborted transactions.
+    retry_backoff_base: float = 2 * MS
+    retry_backoff_max: float = 200 * MS
+
+    #: Timeout after which a client considers a dependency stalled and
+    #: invokes the fallback (Sec 5).  Kept aggressive: the paper notes
+    #: correct clients "quickly notice stalled transactions and
+    #: aggressively finish them", which keeps dependency chains short.
+    dependency_timeout: float = 5 * MS
+    #: Per-view timeout during fallback leader election.
+    fallback_view_timeout: float = 40 * MS
+    #: Generic client RPC timeout (reads / prepares before re-send).
+    request_timeout: float = 50 * MS
+
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    crypto: CryptoConfig = field(default_factory=CryptoConfig)
+    node: NodeConfig = field(default_factory=NodeConfig)
+    #: Client machines are rarely the bottleneck; 2 cores models a client
+    #: process sharing a machine with many others.
+    client_node: NodeConfig = field(default_factory=lambda: NodeConfig(cores=2))
+
+    #: Appendix B.5: with vote subsumption (the default, as in the Basil
+    #: prototype), a replica counts a signed view v as support for every
+    #: v' <= v when adopting fallback views.  Without it (False), only
+    #: exact matches count — the mode compatible with multi/threshold
+    #: signatures; Lemma 8 / Theorem 6 prove it still makes progress.
+    vote_subsumption: bool = True
+
+    #: EXPERIMENT-ONLY (Fig 7 "equiv-forced"): replicas log ST2 decisions
+    #: without validating their SHARDVOTES justification, artificially
+    #: letting Byzantine clients always equivocate, as the paper does for
+    #: its worst-case failure measurement.  Never enable outside that
+    #: experiment.
+    allow_unjustified_st2: bool = False
+
+    seed: int = 0xBA51
+
+    @property
+    def n(self) -> int:
+        """Replicas per shard: Basil requires n = 5f + 1 (Sec 4.5)."""
+        return 5 * self.f + 1
+
+    @property
+    def commit_quorum(self) -> int:
+        """CQ = (n + f + 1) / 2 = 3f + 1 commit votes."""
+        return 3 * self.f + 1
+
+    @property
+    def commit_fast_quorum(self) -> int:
+        """Unanimous 5f + 1 commit votes enable the commit fast path."""
+        return 5 * self.f + 1
+
+    @property
+    def abort_quorum(self) -> int:
+        """AQ = f + 1 abort votes let a shard vote abort (slow path)."""
+        return self.f + 1
+
+    @property
+    def abort_fast_quorum(self) -> int:
+        """3f + 1 abort votes make the abort durable without logging."""
+        return 3 * self.f + 1
+
+    @property
+    def st2_quorum(self) -> int:
+        """n - f = 4f + 1 matching ST2R replies make a decision durable."""
+        return self.n - self.f
+
+    @property
+    def elect_quorum(self) -> int:
+        """4f + 1 ELECTFB messages elect a fallback leader."""
+        return 4 * self.f + 1
+
+    @property
+    def effective_read_quorum(self) -> int:
+        return self.read_quorum if self.read_quorum is not None else self.f + 1
+
+    @property
+    def effective_read_fanout(self) -> int:
+        fanout = self.read_fanout if self.read_fanout is not None else 2 * self.f + 1
+        return max(fanout, self.effective_read_quorum)
+
+    def with_overrides(self, **kwargs: Any) -> "SystemConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,22 @@
+"""Basil's core protocol: the paper's primary contribution.
+
+Modules:
+
+* :mod:`repro.core.timestamps` — client-chosen ``(time, client_id)``
+  serialization timestamps (Sec 4.1 Begin()).
+* :mod:`repro.core.transaction` — transaction records (``T`` in ST1).
+* :mod:`repro.core.messages` — every protocol message.
+* :mod:`repro.core.votes` — ST1R vote tallying into shard outcomes.
+* :mod:`repro.core.certificates` — V-CERT / C-CERT / A-CERT validation.
+* :mod:`repro.core.mvtso` — MVTSO-Check (Algorithm 1).
+* :mod:`repro.core.batching` — Merkle reply batching (Sec 4.4).
+* :mod:`repro.core.replica` — the Basil replica.
+* :mod:`repro.core.client` — the Basil client (drives 2PC).
+* :mod:`repro.core.fallback` — transaction recovery (Sec 5).
+* :mod:`repro.core.system` / :mod:`repro.core.api` — wiring + public API.
+"""
+
+from repro.core.timestamps import Timestamp
+from repro.core.transaction import Dep, TxRecord
+
+__all__ = ["Dep", "Timestamp", "TxRecord"]

@@ -1,0 +1,125 @@
+"""Attestations: transferable proofs that a replica vouched for a payload.
+
+Basil replies come in two signed forms:
+
+* a plain :class:`~repro.crypto.signatures.SignedMessage` — one signature
+  per payload; and
+* a :class:`BatchAttestation` — the reply-batching format of Sec 4.4: the
+  payload, the Merkle root of its batch, an inclusion proof, and the
+  replica's signature over the root.
+
+Both are *transferable*: a client can embed them in vote tallies and
+certificates, and any third party (replica or client) can re-verify them.
+:class:`AttestationVerifier` performs verification with the paper's
+signature cache: a (signer, root) pair whose signature verified once is
+not re-verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from repro.crypto.cost_model import CryptoContext
+from repro.crypto.digest import Digest, digest_of
+from repro.crypto.merkle import InclusionProof, verify_inclusion
+from repro.crypto.signatures import Signature, SignedMessage
+
+
+@dataclass(frozen=True)
+class BatchAttestation:
+    """A payload attested via a signed Merkle batch root (Figure 2)."""
+
+    payload: Any
+    root: Digest
+    proof: InclusionProof
+    root_signature: Signature
+
+    @property
+    def signer(self) -> str:
+        return self.root_signature.signer
+
+    def canonical_fields(self) -> tuple:
+        return (self.payload, self.root, self.proof, self.root_signature)
+
+
+Attestation = Union[SignedMessage, BatchAttestation]
+
+
+def attestation_payload(att: Attestation) -> Any:
+    return att.payload
+
+
+def attestation_signer(att: Attestation) -> str:
+    return att.signer
+
+
+class AttestationVerifier:
+    """Verifies attestations on behalf of one node, with root caching.
+
+    The cache models Basil's verification-amortization: once a node has
+    verified a replica's signature over a batch root, further replies
+    from the same batch cost only hashing (Sec 4.4).
+    """
+
+    def __init__(self, ctx: CryptoContext, aggregate: bool = False) -> None:
+        self.ctx = ctx
+        #: Model BLS-style aggregation (Sec 4.4): quorum verification via
+        #: :meth:`verify_quorum` costs one pairing check plus hashing.
+        self.aggregate = aggregate
+        self._verified_roots: set[tuple[str, Digest]] = set()
+        self.cache_hits = 0
+
+    async def verify(self, att: Attestation) -> bool:
+        if isinstance(att, SignedMessage):
+            return await self.ctx.verify(att)
+        return await self._verify_batched(att)
+
+    async def verify_quorum(self, atts: list[Attestation]) -> bool:
+        """Verify a set of matching votes, aggregated if enabled.
+
+        Without aggregation this is simply one verification per member.
+        With aggregation, the structural checks still run individually
+        (they are what guarantees soundness in the simulation) but the
+        *charged* cost is one signature verification plus one hash per
+        member — the cost profile of an aggregate signature.
+        """
+        if not atts:
+            return False
+        if not self.aggregate:
+            for att in atts:
+                if not await self.verify(att):
+                    return False
+            return True
+        ok = True
+        for att in atts:
+            if isinstance(att, SignedMessage):
+                if not self.ctx.registry.is_valid(att):
+                    ok = False
+            else:
+                payload_digest = digest_of(att.payload)
+                if not verify_inclusion(payload_digest, att.proof, att.root):
+                    ok = False
+                try:
+                    self.ctx.registry.verify_digest(att.root_signature, att.root)
+                except Exception:
+                    ok = False
+        await self.ctx.charge_hash(64, count=len(atts))
+        await self.ctx.charge_verify()
+        return ok
+
+    async def _verify_batched(self, att: BatchAttestation) -> bool:
+        # Recompute the payload digest and walk the Merkle path: one hash
+        # per level plus one for the leaf.
+        payload_digest = digest_of(att.payload)
+        await self.ctx.charge_hash(64, count=1 + len(att.proof.path))
+        if not verify_inclusion(payload_digest, att.proof, att.root):
+            return False
+        cache_key = (att.root_signature.signer, att.root)
+        if cache_key in self._verified_roots:
+            self.cache_hits += 1
+            return True
+        ok = await self.ctx.verify_digest(att.root_signature, att.root)
+        if ok:
+            self._verified_roots.add(cache_key)
+        return ok

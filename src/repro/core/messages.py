@@ -1,0 +1,290 @@
+"""Every message exchanged by the Basil protocol.
+
+Naming follows the paper: ST1/ST1R are the Prepare-phase stage-1 request
+and reply, ST2/ST2R the decision-logging stage, RP/RPR the recovery
+prepare of the fallback's common case, and InvokeFB/ElectFB/DecFB the
+divergent-case election messages (Sec 4.2, 4.3, 5).
+
+Replica replies that travel through the reply batcher carry their content
+as plain payload dataclasses here; the attested envelope is
+:class:`repro.core.attestation.BatchAttestation`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.attestation import Attestation
+from repro.core.timestamps import Timestamp
+from repro.core.transaction import TxRecord
+from repro.crypto.digest import Digest
+
+
+class Vote(enum.Enum):
+    """A replica's concurrency-control vote for one transaction."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    def canonical_fields(self) -> tuple:
+        return (self.value,)
+
+
+class Decision(enum.Enum):
+    """The 2PC outcome of a transaction."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+    def canonical_fields(self) -> tuple:
+        return (self.value,)
+
+
+# ---------------------------------------------------------------------------
+# Execution phase
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ReadRequest:
+    """Client -> replica: read ``key`` at transaction timestamp ``ts``."""
+
+    req_id: int
+    key: Any
+    timestamp: Timestamp
+    client: str
+
+
+@dataclass(frozen=True)
+class CommittedRead:
+    """The latest committed version below the read timestamp, with proof.
+
+    ``tx`` is the writer's record (None for genesis versions): the client
+    checks the value against the record and the record against the cert.
+    """
+
+    version: Timestamp
+    value: Any
+    cert: Any  # CommitCert; typed loosely to avoid an import cycle
+    tx: TxRecord | None = None
+
+
+@dataclass(frozen=True)
+class PreparedRead:
+    """The latest *prepared* version below the read timestamp.
+
+    Carries the full writer transaction record so the reader can validate
+    the dependency and, if the writer stalls, finish it via the fallback.
+    """
+
+    value: Any
+    tx: TxRecord
+
+
+@dataclass(frozen=True)
+class ReadReply:
+    """Replica -> client: ST read reply (batched + attested)."""
+
+    req_id: int
+    key: Any
+    replica: str
+    committed: CommittedRead | None
+    prepared: PreparedRead | None
+
+
+@dataclass(frozen=True)
+class RtsRemoveRequest:
+    """Client -> replica: Abort() during execution removes RTS marks."""
+
+    keys: tuple[Any, ...]
+    timestamp: Timestamp
+
+
+# ---------------------------------------------------------------------------
+# Prepare phase — stage 1
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PrepareRequest:
+    """ST1 (or RP when ``recovery`` is set): run MVTSO-Check on ``tx``."""
+
+    req_id: int
+    tx: TxRecord
+    client: str
+    recovery: bool = False
+
+
+@dataclass(frozen=True)
+class PrepareVote:
+    """ST1R payload: one replica's signed vote on one transaction."""
+
+    txid: Digest
+    replica: str
+    vote: Vote
+    #: When voting abort because of a conflicting *committed* transaction,
+    #: the replica may attach that transaction's C-CERT (abort fast path 5).
+    conflict: Any = None  # ConflictProof | None
+    #: Advisory hint: the (possibly uncommitted) transaction responsible
+    #: for the abort, so the client can try to finish it (Sec 5).
+    conflict_txid: Digest | None = None
+    conflict_key: Any = None
+
+    def canonical_fields(self) -> tuple:
+        return (
+            self.txid, self.replica, self.vote, self.conflict,
+            self.conflict_txid, self.conflict_key,
+        )
+
+
+@dataclass(frozen=True)
+class PrepareReply:
+    """Envelope routing an attested ST1R back to the requesting client."""
+
+    req_id: int
+    attestation: Attestation  # over a PrepareVote
+
+
+# ---------------------------------------------------------------------------
+# Prepare phase — stage 2 (decision logging at S_log)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DecisionLogRequest:
+    """ST2: make the client's tentative 2PC decision durable on S_log."""
+
+    req_id: int
+    tx: TxRecord
+    decision: Decision
+    #: Vote tallies for every involved shard, justifying the decision.
+    shard_votes: tuple[Any, ...]  # tuple[VoteTally, ...]
+    view: int
+    client: str
+
+
+@dataclass(frozen=True)
+class DecisionLogResult:
+    """ST2R payload: the decision this replica has logged for ``txid``."""
+
+    txid: Digest
+    replica: str
+    decision: Decision
+    view_decision: int
+    view_current: int
+
+    def canonical_fields(self) -> tuple:
+        return (self.txid, self.replica, self.decision, self.view_decision, self.view_current)
+
+
+@dataclass(frozen=True)
+class DecisionLogReply:
+    """Envelope routing an attested ST2R back to a client."""
+
+    req_id: int
+    attestation: Attestation  # over a DecisionLogResult
+
+
+# ---------------------------------------------------------------------------
+# Writeback phase
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WritebackRequest:
+    """Client -> all involved replicas: the decision certificate."""
+
+    cert: Any  # CommitCert | AbortCert
+    tx: TxRecord
+
+
+# ---------------------------------------------------------------------------
+# Transaction-record fetch (dependency-chain recovery)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class FetchTxRequest:
+    """Client -> replica: retrieve the record whose digest is ``txid``.
+
+    Needed when recursively finishing dependency chains: the direct
+    dependency's record came from the read reply, but *its* dependencies
+    are known only by id.  Replies are self-authenticating (the record
+    hashes to the requested id), so no signature is required.
+    """
+
+    req_id: int
+    txid: Digest
+
+
+@dataclass(frozen=True)
+class FetchTxReply:
+    req_id: int
+    replica: str
+    tx: TxRecord | None
+
+
+# ---------------------------------------------------------------------------
+# Fallback (Sec 5)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class RecoveryReply:
+    """RPR: a replica's current knowledge about a transaction.
+
+    Exactly one of the optional fields is set, reflecting how far the
+    transaction progressed at this replica: a decision certificate, a
+    logged ST2 decision, or only a stage-1 vote.
+    """
+
+    req_id: int
+    replica: str
+    cert: Any = None  # CommitCert | AbortCert | None
+    st2r: Attestation | None = None  # over DecisionLogResult
+    st1r: Attestation | None = None  # over PrepareVote
+
+
+@dataclass(frozen=True)
+class InvokeFBRequest:
+    """Client -> S_log replicas: start a fallback leader election.
+
+    ``view_evidence`` is the set of signed current views (attested ST2R
+    results) the client gathered; replicas apply the view-adoption rules
+    (3f+1 to advance, f+1 to catch up, with vote subsumption).
+    """
+
+    req_id: int
+    txid: Digest
+    tx: TxRecord
+    view_evidence: tuple[Attestation, ...]
+    client: str
+
+
+@dataclass(frozen=True)
+class ElectFBPayload:
+    """ELECTFB: replica tells the would-be leader its logged decision."""
+
+    txid: Digest
+    replica: str
+    decision: Decision
+    view: int
+
+    def canonical_fields(self) -> tuple:
+        return (self.txid, self.replica, self.decision, self.view)
+
+
+@dataclass(frozen=True)
+class ElectFBMessage:
+    attestation: Attestation  # over ElectFBPayload
+
+
+@dataclass(frozen=True)
+class DecFBPayload:
+    """DECFB body signed by the fallback leader."""
+
+    txid: Digest
+    leader: str
+    decision: Decision
+    view: int
+
+    def canonical_fields(self) -> tuple:
+        return (self.txid, self.leader, self.decision, self.view)
+
+
+@dataclass(frozen=True)
+class DecFBMessage:
+    """Leader -> replicas: new decision plus the ELECTFB quorum as proof."""
+
+    attestation: Attestation  # over DecFBPayload
+    proof: tuple[Attestation, ...]  # 4f+1 ELECTFB attestations

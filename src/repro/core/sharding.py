@@ -1,0 +1,83 @@
+"""Shard topology: key placement, replica membership, S_log, leaders.
+
+Basil partitions keys across shards of n = 5f + 1 replicas each.  All
+placement decisions are deterministic functions of stable digests so
+every correct participant derives the same answers:
+
+* ``shard_of(key)`` — stable hash placement;
+* ``s_log(tx)`` — the single logging shard for a transaction, chosen
+  deterministically from ``id_T`` (Sec 4.2 stage 2);
+* ``leader_of(shard, txid, view)`` — the fallback leader for a view,
+  ``view + (id_T mod n)`` (Sec 5 step 2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+from repro.config import SystemConfig
+from repro.core.transaction import TxRecord
+from repro.crypto.digest import canonical_encode
+
+
+def replica_name(shard: int, index: int) -> str:
+    return f"s{shard}/r{index}"
+
+
+class Sharder:
+    """Deterministic shard topology shared by clients and replicas."""
+
+    def __init__(self, config: SystemConfig, replicas_per_shard: int | None = None) -> None:
+        self.config = config
+        self.num_shards = config.num_shards
+        #: Basil uses n = 5f+1; baselines reuse this topology with their
+        #: own replication factors (TAPIR 2f+1, PBFT/HotStuff 3f+1).
+        self.n = replicas_per_shard if replicas_per_shard is not None else config.n
+        self._members = tuple(
+            tuple(replica_name(s, i) for i in range(self.n)) for s in range(self.num_shards)
+        )
+
+    # -- key placement -----------------------------------------------------
+    def shard_of(self, key: Any) -> int:
+        if self.num_shards == 1:
+            return 0
+        return zlib.crc32(canonical_encode(key)) % self.num_shards
+
+    # -- membership ----------------------------------------------------------
+    def members(self, shard: int) -> tuple[str, ...]:
+        return self._members[shard]
+
+    def all_replicas(self) -> Iterable[str]:
+        for shard_members in self._members:
+            yield from shard_members
+
+    def shard_of_replica(self, name: str) -> int:
+        return int(name.split("/")[0][1:])
+
+    def is_replica(self, name: str) -> bool:
+        """True iff ``name`` is a replica of this topology.
+
+        Validation paths must call this before ``shard_of_replica``:
+        senders are authenticated but not necessarily replicas (a
+        Byzantine *client* may send protocol replies).
+        """
+        try:
+            shard = self.shard_of_replica(name)
+        except (ValueError, IndexError):
+            return False
+        return 0 <= shard < self.num_shards and name in self._members[shard]
+
+    # -- per-transaction decisions -------------------------------------------
+    def shards_of_tx(self, tx: TxRecord) -> tuple[int, ...]:
+        return tuple(sorted({self.shard_of(k) for k in tx.keys}))
+
+    def s_log(self, tx: TxRecord) -> int:
+        """The logging shard: deterministic in id_T among involved shards."""
+        involved = self.shards_of_tx(tx)
+        return involved[int.from_bytes(tx.txid[:8], "big") % len(involved)]
+
+    def leader_of(self, shard: int, txid: bytes, view: int) -> str:
+        """Fallback leader for ``view``: replica ``view + (id_T mod n)``."""
+        index = (view + int.from_bytes(txid[:8], "big")) % self.n
+        return self._members[shard][index]

@@ -1,0 +1,47 @@
+"""Client-chosen transaction timestamps.
+
+``Begin()`` (Sec 4.1): a client starts transaction T by optimistically
+choosing ``ts := (Time, ClientID)``, which defines a total serialization
+order across all clients.  Replicas reject operations whose timestamp
+exceeds their local clock plus the skew bound delta, which is Basil's
+defence against Byzantine clients picking arbitrarily high timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Resolution of the time component (integer microseconds).
+_US_PER_SECOND = 1_000_000
+
+
+@dataclass(frozen=True, order=True)
+class Timestamp:
+    """A totally ordered (time, client_id) pair.
+
+    ``time`` is in integer microseconds so that equality and ordering are
+    exact; ``client_id`` breaks ties, making timestamps from distinct
+    clients always distinct.
+    """
+
+    time: int
+    client_id: int
+
+    @classmethod
+    def from_clock(cls, seconds: float, client_id: int) -> "Timestamp":
+        """Build a timestamp from a node's local clock reading."""
+        return cls(time=int(round(seconds * _US_PER_SECOND)), client_id=client_id)
+
+    def to_seconds(self) -> float:
+        return self.time / _US_PER_SECOND
+
+    def canonical_fields(self) -> tuple:
+        return (self.time, self.client_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ts({self.time}us,c{self.client_id})"
+
+
+#: The timestamp of genesis (initially loaded) versions.  Strictly below
+#: every client timestamp because client ids are positive.
+GENESIS = Timestamp(time=0, client_id=0)

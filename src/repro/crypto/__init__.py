@@ -1,0 +1,34 @@
+"""Modeled cryptography.
+
+The paper's hot path is dominated by ed25519 signing/verification; running
+real signatures in Python would be ~1000x too slow for faithful closed-loop
+benchmarks (the repro gate).  Instead this subpackage provides:
+
+* :mod:`repro.crypto.digest` — canonical encoding + SHA-256 digests of
+  protocol messages (real hashing; cheap enough to run for real).
+* :mod:`repro.crypto.signatures` — *structural* signatures that are
+  unforgeable by construction: producing a valid signature requires the
+  holder-only :class:`~repro.crypto.signatures.SigningKey` capability.
+* :mod:`repro.crypto.cost_model` — charges simulated CPU time per
+  sign/verify/hash so crypto cost shows up in throughput exactly where the
+  paper measures it (Figures 5a, 6b).
+* :mod:`repro.crypto.merkle` — Merkle trees for reply batching (Sec 4.4).
+"""
+
+from repro.crypto.digest import Digest, canonical_encode, digest_of
+from repro.crypto.merkle import MerkleTree, verify_inclusion
+from repro.crypto.signatures import KeyRegistry, Signature, SignedMessage, SigningKey
+from repro.crypto.cost_model import CryptoContext
+
+__all__ = [
+    "CryptoContext",
+    "Digest",
+    "KeyRegistry",
+    "MerkleTree",
+    "Signature",
+    "SignedMessage",
+    "SigningKey",
+    "canonical_encode",
+    "digest_of",
+    "verify_inclusion",
+]

@@ -1,0 +1,103 @@
+"""Charging simulated CPU time for cryptographic operations.
+
+A :class:`CryptoContext` binds one node's identity (its signing key), the
+system key registry, the crypto cost configuration, and the node's CPU.
+Protocol code awaits ``ctx.sign(...)`` / ``ctx.verify(...)``; the context
+performs the structural operation *and* occupies a CPU core for the
+modeled duration, which is how signature cost turns into the throughput
+effects of Figures 5a and 6b.
+
+With ``CryptoConfig.enabled = False`` (the paper's "Basil without
+signatures" variant) the structural checks still run — bugs should not
+hide behind the no-crypto mode — but no CPU time is charged.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import CryptoConfig
+from repro.crypto.digest import Digest, digest_of
+from repro.crypto.signatures import KeyRegistry, Signature, SignedMessage, SigningKey
+from repro.sim.node import Cpu
+
+
+class CryptoContext:
+    """One node's view of the crypto layer, with costs charged to its CPU."""
+
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        key: SigningKey,
+        config: CryptoConfig,
+        cpu: Cpu,
+    ) -> None:
+        self.registry = registry
+        self.key = key
+        self.config = config
+        self.cpu = cpu
+        self.signatures_generated = 0
+        self.signatures_verified = 0
+        self.hashes_computed = 0
+
+    @property
+    def name(self) -> str:
+        return self.key.signer
+
+    # -- signing ----------------------------------------------------------
+    async def sign(self, payload: Any) -> SignedMessage:
+        """Sign a payload, charging one signature generation."""
+        await self.charge_sign()
+        return SignedMessage(payload=payload, signature=self.key.sign(payload))
+
+    async def sign_digest(self, digest: Digest) -> Signature:
+        """Sign a precomputed digest (used for Merkle batch roots)."""
+        await self.charge_sign()
+        return self.key.sign_digest(digest)
+
+    async def charge_sign(self) -> None:
+        self.signatures_generated += 1
+        if self.config.enabled:
+            await self.cpu.spend(self.config.sign_cost)
+
+    # -- verification -------------------------------------------------------
+    async def verify(self, signed: SignedMessage) -> bool:
+        """Verify a signed message, charging one signature verification."""
+        await self.charge_verify()
+        return self.registry.is_valid(signed)
+
+    async def verify_digest(self, signature: Signature, digest: Digest) -> bool:
+        await self.charge_verify()
+        try:
+            self.registry.verify_digest(signature, digest)
+        except Exception:  # CryptoError subclasses
+            return False
+        return True
+
+    async def charge_verify(self) -> None:
+        self.signatures_verified += 1
+        if self.config.enabled:
+            await self.cpu.spend(self.config.verify_cost)
+
+    # -- request authentication ----------------------------------------------
+    async def charge_request_sign(self) -> None:
+        """Client-side signature on a state-changing request."""
+        if self.config.authenticate_requests:
+            await self.charge_sign()
+
+    async def charge_request_verify(self) -> None:
+        """Replica-side verification of a client request signature."""
+        if self.config.authenticate_requests:
+            await self.charge_verify()
+
+    # -- hashing ------------------------------------------------------------
+    async def hash(self, payload: Any, size_hint: int | None = None) -> Digest:
+        """Digest a payload, charging modeled hash time."""
+        digest = digest_of(payload)
+        await self.charge_hash(size_hint if size_hint is not None else 64)
+        return digest
+
+    async def charge_hash(self, nbytes: int, count: int = 1) -> None:
+        self.hashes_computed += count
+        if self.config.enabled:
+            await self.cpu.spend(self.config.hash_cost(nbytes) * count)

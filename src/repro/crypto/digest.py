@@ -1,0 +1,130 @@
+"""Canonical encoding and content digests for protocol messages.
+
+Digests must be stable across processes and runs (transaction ids are
+digests, and the paper's protocol compares them across replicas), so we
+define a small canonical byte encoding rather than relying on ``hash()``
+or pickle details.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any
+
+#: A digest is a 32-byte SHA-256 value, kept as bytes.
+Digest = bytes
+
+
+def canonical_encode(obj: Any) -> bytes:
+    """Encode ``obj`` into canonical bytes.
+
+    Supported: None, bool, int, float, str, bytes, list/tuple, dict
+    (sorted by encoded key), frozenset/set (sorted by encoded element),
+    and message objects (dataclasses / ``canonical_fields()`` carriers).
+    Two equal values always encode identically; different types never
+    collide because every atom is tagged.
+
+    Message objects are encoded *by digest* (hash-tree style): a nested
+    transaction record or certificate contributes its 32-byte digest,
+    which is memoized on the object.  This keeps re-hashing of shared
+    protocol structures O(1) — certificates are embedded in thousands of
+    read replies — while remaining deterministic across parties, since
+    the digest itself is content-derived.  The price is the immutability
+    contract: protocol objects must never be mutated after construction
+    (they are frozen dataclasses).
+    """
+    out = bytearray()
+    _encode_into(obj, out)
+    return bytes(out)
+
+
+def _encode_into(obj: Any, out: bytearray) -> None:
+    if obj is None:
+        out += b"N"
+    elif obj is True:
+        out += b"T"
+    elif obj is False:
+        out += b"F"
+    elif isinstance(obj, int):
+        body = str(obj).encode()
+        out += b"i%d:" % len(body)
+        out += body
+    elif isinstance(obj, float):
+        body = repr(obj).encode()
+        out += b"f%d:" % len(body)
+        out += body
+    elif isinstance(obj, str):
+        body = obj.encode()
+        out += b"s%d:" % len(body)
+        out += body
+    elif isinstance(obj, bytes):
+        out += b"b%d:" % len(obj)
+        out += obj
+    elif isinstance(obj, (list, tuple)):
+        out += b"l%d:" % len(obj)
+        for item in obj:
+            _encode_into(item, out)
+    elif isinstance(obj, dict):
+        entries = sorted(
+            (canonical_encode(k), canonical_encode(v)) for k, v in obj.items()
+        )
+        out += b"d%d:" % len(entries)
+        for k, v in entries:
+            out += k
+            out += v
+    elif isinstance(obj, (set, frozenset)):
+        entries = sorted(canonical_encode(item) for item in obj)
+        out += b"e%d:" % len(entries)
+        for entry in entries:
+            out += entry
+    elif hasattr(obj, "canonical_fields") or (
+        dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+    ):
+        out += b"h"
+        out += _object_digest(obj)
+    else:
+        raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
+
+
+def _object_digest(obj: Any) -> Digest:
+    """Memoized content digest of a message object (hash-tree node)."""
+    memo = getattr(obj, "_digest_memo", None)
+    if memo is not None:
+        return memo
+    out = bytearray()
+    name = type(obj).__name__.encode()
+    out += b"c%d:" % len(name)
+    out += name
+    if hasattr(obj, "canonical_fields"):
+        _encode_into(obj.canonical_fields(), out)
+    else:
+        fields = dataclasses.fields(obj)
+        out += b"l%d:" % len(fields)
+        for field in fields:
+            _encode_into(getattr(obj, field.name), out)
+    digest = hashlib.sha256(bytes(out)).digest()
+    try:
+        object.__setattr__(obj, "_digest_memo", digest)
+    except (AttributeError, TypeError):
+        pass  # slotted or otherwise unwritable: skip memoization
+    return digest
+
+
+def digest_of(obj: Any) -> Digest:
+    """SHA-256 digest of the canonical encoding of ``obj``."""
+    if hasattr(obj, "canonical_fields") or (
+        dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+    ):
+        return _object_digest(obj)
+    return hashlib.sha256(canonical_encode(obj)).digest()
+
+
+def digest_bytes(data: bytes) -> Digest:
+    """SHA-256 of raw bytes (used by the Merkle tree)."""
+    return hashlib.sha256(data).digest()
+
+
+def short_hex(digest: Digest, length: int = 8) -> str:
+    """Human-readable prefix of a digest, for logs and reprs."""
+    return digest.hex()[:length]

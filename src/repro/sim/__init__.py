@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the hardware substitute for the paper's CloudLab
+testbed: a single-threaded, seeded event loop with native ``async/await``
+support (:mod:`repro.sim.loop`), a latency/loss-modeling message network
+(:mod:`repro.sim.network`), a k-core CPU queueing model per server
+(:mod:`repro.sim.node`), and measurement utilities
+(:mod:`repro.sim.monitor`).
+"""
+
+from repro.sim.loop import Future, Simulator, Task
+from repro.sim.network import Network
+from repro.sim.node import Cpu, Node
+from repro.sim.monitor import Counter, Histogram, Monitor
+
+__all__ = [
+    "Counter",
+    "Cpu",
+    "Future",
+    "Histogram",
+    "Monitor",
+    "Network",
+    "Node",
+    "Simulator",
+    "Task",
+]

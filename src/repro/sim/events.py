@@ -1,0 +1,116 @@
+"""Synchronization primitives for sim coroutines.
+
+These mirror the small subset of ``asyncio`` primitives the protocols
+need: a FIFO semaphore (used by the CPU model), an unbounded queue
+(mailboxes), and a one-shot signal.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque
+
+from repro.sim.loop import Future, Simulator
+
+
+class Semaphore:
+    """A counting semaphore with strict FIFO wakeup order."""
+
+    def __init__(self, sim: Simulator, value: int) -> None:
+        if value < 1:
+            raise ValueError("semaphore initial value must be >= 1")
+        self._sim = sim
+        self._value = value
+        self._waiters: Deque[Future] = deque()
+
+    @property
+    def available(self) -> int:
+        return self._value
+
+    def acquire(self) -> Future:
+        """Awaitable that resolves once a permit is held."""
+        fut = Future()
+        if self._value > 0 and not self._waiters:
+            self._value -= 1
+            fut.set_result(None)
+        else:
+            self._waiters.append(fut)
+        return fut
+
+    def release(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if waiter.done():  # cancelled waiter: skip it
+                continue
+            waiter.set_result(None)
+            return
+        self._value += 1
+
+
+class Queue:
+    """Unbounded FIFO queue; ``get`` suspends while empty."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Future] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.done():
+                continue
+            getter.set_result(item)
+            return
+        self._items.append(item)
+
+    def get(self) -> Future:
+        fut = Future()
+        if self._items:
+            fut.set_result(self._items.popleft())
+        else:
+            self._getters.append(fut)
+        return fut
+
+
+class Signal:
+    """A one-shot event that many coroutines can wait on."""
+
+    def __init__(self) -> None:
+        self._fired = False
+        self._value: Any = None
+        self._waiters: list[Future] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all current and future waiters with ``value``.
+
+        Firing twice is a no-op (the first value wins), which is the
+        behaviour protocol code wants for "decision reached" signals.
+        """
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for fut in waiters:
+            if not fut.done():
+                fut.set_result(value)
+
+    def wait(self) -> Future:
+        fut = Future()
+        if self._fired:
+            fut.set_result(self._value)
+        else:
+            self._waiters.append(fut)
+        return fut

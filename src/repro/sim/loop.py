@@ -1,0 +1,325 @@
+"""The discrete-event simulator kernel.
+
+A :class:`Simulator` owns a virtual clock and a totally ordered event
+queue.  Protocol code is written as ordinary ``async def`` coroutines that
+await :class:`Future` objects; the kernel trampolines them, so an entire
+distributed system (replicas, clients, network) runs deterministically in
+one OS thread on simulated time.
+
+Determinism: events fire in (time, sequence-number) order, where sequence
+numbers are assigned at scheduling time.  Two runs with the same seed and
+the same code produce byte-identical histories.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Awaitable, Callable, Coroutine, Generator, Iterable
+
+from repro.errors import SimTimeoutError, SimulationError
+
+_PENDING = object()
+
+
+class CancelledError(Exception):
+    """Raised inside a coroutine whose task was cancelled."""
+
+
+class Future:
+    """A single-assignment result container awaitable from sim coroutines."""
+
+    __slots__ = ("_result", "_exception", "_callbacks", "_cancelled")
+
+    def __init__(self) -> None:
+        self._result: Any = _PENDING
+        self._exception: BaseException | None = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+        self._cancelled = False
+
+    def done(self) -> bool:
+        return self._result is not _PENDING or self._exception is not None
+
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def result(self) -> Any:
+        if self._exception is not None:
+            raise self._exception
+        if self._result is _PENDING:
+            raise SimulationError("future result accessed before completion")
+        return self._result
+
+    def exception(self) -> BaseException | None:
+        return self._exception
+
+    def set_result(self, value: Any) -> None:
+        if self.done():
+            raise SimulationError("future already completed")
+        self._result = value
+        self._run_callbacks()
+
+    def set_exception(self, exc: BaseException) -> None:
+        if self.done():
+            raise SimulationError("future already completed")
+        self._exception = exc
+        self._run_callbacks()
+
+    def cancel(self) -> bool:
+        """Complete the future with :class:`CancelledError` if still pending."""
+        if self.done():
+            return False
+        self._cancelled = True
+        self.set_exception(CancelledError())
+        return True
+
+    def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
+        if self.done():
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def __await__(self) -> Generator["Future", None, Any]:
+        if not self.done():
+            yield self
+        return self.result()
+
+
+class Task(Future):
+    """A coroutine being driven by the simulator.
+
+    The task completes with the coroutine's return value (or exception).
+    """
+
+    __slots__ = ("_coro", "_sim", "name")
+
+    def __init__(self, sim: "Simulator", coro: Coroutine[Any, Any, Any], name: str = "") -> None:
+        super().__init__()
+        self._coro = coro
+        self._sim = sim
+        self.name = name or getattr(coro, "__name__", "task")
+        self._step(None, None)
+
+    def cancel(self) -> bool:
+        """Throw :class:`CancelledError` into the coroutine."""
+        if self.done():
+            return False
+        self._cancelled = True
+        try:
+            self._coro.throw(CancelledError())
+        except (CancelledError, StopIteration):
+            pass
+        if not self.done():
+            self.set_exception(CancelledError())
+        return True
+
+    def _step(self, value: Any, exc: BaseException | None) -> None:
+        if self.done():
+            return
+        try:
+            if exc is not None:
+                awaited = self._coro.throw(exc)
+            else:
+                awaited = self._coro.send(value)
+        except StopIteration as stop:
+            self.set_result(stop.value)
+            return
+        except CancelledError as err:
+            self._cancelled = True
+            self.set_exception(err)
+            return
+        except BaseException as err:  # noqa: BLE001 - surfaced via the task
+            self.set_exception(err)
+            return
+        if not isinstance(awaited, Future):
+            raise SimulationError(
+                f"sim coroutines may only await sim futures, got {awaited!r}"
+            )
+        awaited.add_done_callback(self._wakeup)
+
+    def _wakeup(self, fut: Future) -> None:
+        if fut.exception() is not None:
+            self._step(None, fut.exception())
+        else:
+            self._step(fut.result(), None)
+
+
+class EventHandle:
+    """A cancellable scheduled callback."""
+
+    __slots__ = ("_cancelled", "when")
+
+    def __init__(self, when: float) -> None:
+        self.when = when
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+
+class Simulator:
+    """Deterministic event loop over virtual time (seconds)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.seed = seed
+        self._queue: list[tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
+        self._seq = 0
+        self._events_processed = 0
+        self._rngs: dict[str, random.Random] = {}
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> random.Random:
+        """Return a named RNG stream, stable across runs for a given seed."""
+        rng = self._rngs.get(stream)
+        if rng is None:
+            rng = random.Random(f"{self.seed}/{stream}")
+            self._rngs[stream] = rng
+        return rng
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, when: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule into the past ({when} < {self.now})")
+        handle = EventHandle(when)
+        heapq.heappush(self._queue, (when, self._seq, handle, fn, args))
+        self._seq += 1
+        return handle
+
+    def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
+        return self.call_at(self.now + max(0.0, delay), fn, *args)
+
+    def create_task(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
+        """Start driving a coroutine immediately (first step runs inline)."""
+        return Task(self, coro, name=name)
+
+    def sleep(self, delay: float) -> Future:
+        """Awaitable that resolves ``delay`` simulated seconds from now."""
+        fut = Future()
+        self.call_later(delay, self._resolve_sleep, fut)
+        return fut
+
+    @staticmethod
+    def _resolve_sleep(fut: Future) -> None:
+        if not fut.done():
+            fut.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def wait_for(self, awaitable: Awaitable[Any], timeout: float) -> Future:
+        """Await with a deadline; raises :class:`SimTimeoutError` on expiry."""
+        inner = self.ensure_future(awaitable)
+        outer = Future()
+        timer = self.call_later(timeout, self._expire, inner, outer, timeout)
+
+        def _done(fut: Future) -> None:
+            timer.cancel()
+            if outer.done():
+                return
+            if fut.exception() is not None:
+                outer.set_exception(fut.exception())
+            else:
+                outer.set_result(fut.result())
+
+        inner.add_done_callback(_done)
+        return outer
+
+    @staticmethod
+    def _expire(inner: Future, outer: Future, timeout: float) -> None:
+        if not outer.done():
+            outer.set_exception(SimTimeoutError(f"timed out after {timeout}s"))
+            inner.cancel()
+
+    def ensure_future(self, awaitable: Awaitable[Any]) -> Future:
+        """Wrap any awaitable into a sim Future/Task."""
+        if isinstance(awaitable, Future):
+            return awaitable
+        return self.create_task(awaitable)  # type: ignore[arg-type]
+
+    def gather(self, awaitables: Iterable[Awaitable[Any]]) -> Future:
+        """Await all; resolves with the list of results, in order.
+
+        Fails fast with the first exception raised by any member.
+        """
+        futures = [self.ensure_future(a) for a in awaitables]
+        result = Future()
+        remaining = len(futures)
+        if remaining == 0:
+            result.set_result([])
+            return result
+        values: list[Any] = [None] * remaining
+
+        def _on_done(index: int, fut: Future) -> None:
+            nonlocal remaining
+            if result.done():
+                return
+            if fut.exception() is not None:
+                result.set_exception(fut.exception())
+                return
+            values[index] = fut.result()
+            remaining -= 1
+            if remaining == 0:
+                result.set_result(values)
+
+        for i, fut in enumerate(futures):
+            fut.add_done_callback(lambda f, i=i: _on_done(i, f))
+        return result
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
+        """Process events until the queue drains, ``until``, or ``max_events``."""
+        while self._queue:
+            when, _seq, handle, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = when
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            fn(*args)
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def run_until_complete(self, awaitable: Awaitable[Any], max_events: int | None = None) -> Any:
+        """Drive the loop until ``awaitable`` completes; return its result."""
+        fut = self.ensure_future(awaitable)
+        while not fut.done():
+            if not self._queue:
+                raise SimulationError(
+                    "deadlock: event queue drained but awaited future is pending"
+                )
+            when, _seq, handle, fn, args = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self.now = when
+            self._events_processed += 1
+            if max_events is not None and self._events_processed > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            fn(*args)
+        return fut.result()

@@ -1,0 +1,155 @@
+"""Measurement: counters, latency histograms, and interval throughput.
+
+The bench harness (:mod:`repro.bench`) reads these to produce the same
+rows/series the paper's figures report: committed transactions per second,
+mean/percentile latency, commit rate, and fast-path rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Stores raw samples; supports mean and percentiles.
+
+    Sample counts in this reproduction are small enough (tens of
+    thousands) that exact storage beats bucketing.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        self._samples.append(value)
+        self._sorted = False
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        rank = max(0, min(len(self._samples) - 1, math.ceil(p / 100 * len(self._samples)) - 1))
+        return self._samples[rank]
+
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+
+@dataclass
+class MeasurementWindow:
+    """Only events with timestamps inside [start, end) are counted."""
+
+    start: float = 0.0
+    end: float = math.inf
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Monitor:
+    """Collects every statistic an experiment reports.
+
+    A monitor has a measurement window so warm-up and cool-down samples
+    can be excluded, matching the paper's 90s runs with 30s warm-up.
+    """
+
+    window: MeasurementWindow = field(default_factory=MeasurementWindow)
+    counters: dict[str, Counter] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self.counters[name] = counter
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(name)
+            self.histograms[name] = hist
+        return hist
+
+    # -- transaction-level recording --------------------------------------
+    def record_commit(self, now: float, latency: float, fast_path: bool, tag: str = "") -> None:
+        if not self.window.contains(now):
+            return
+        self.counter("commits").add()
+        self.histogram("commit_latency").record(latency)
+        if fast_path:
+            self.counter("fast_path_commits").add()
+        if tag:
+            self.counter(f"commits/{tag}").add()
+
+    def record_abort(self, now: float, tag: str = "") -> None:
+        if not self.window.contains(now):
+            return
+        self.counter("aborts").add()
+        if tag:
+            self.counter(f"aborts/{tag}").add()
+
+    def record_event(self, now: float, name: str) -> None:
+        if not self.window.contains(now):
+            return
+        self.counter(name).add()
+
+    # -- derived metrics ---------------------------------------------------
+    def throughput(self) -> float:
+        """Committed transactions per simulated second in the window."""
+        duration = self.window.duration
+        if not math.isfinite(duration) or duration <= 0:
+            return 0.0
+        return self.counter("commits").value / duration
+
+    def commit_rate(self) -> float:
+        commits = self.counter("commits").value
+        aborts = self.counter("aborts").value
+        total = commits + aborts
+        return commits / total if total else 0.0
+
+    def fast_path_rate(self) -> float:
+        commits = self.counter("commits").value
+        if not commits:
+            return 0.0
+        return self.counter("fast_path_commits").value / commits
+
+    def mean_latency(self) -> float:
+        return self.histogram("commit_latency").mean()
+
+    def p99_latency(self) -> float:
+        return self.histogram("commit_latency").percentile(99)

@@ -1,0 +1,99 @@
+"""Message transport between nodes, with latency, loss, and adversary hooks.
+
+The network is authenticated point-to-point (matching the paper's model):
+the receiver learns the true sender identity, so a Byzantine node cannot
+spoof message *origins* — only message *contents* under its own identity.
+
+A pluggable :class:`NetworkAdversary` may delay, reorder (by delaying), or
+drop messages.  Basil's safety must hold under any adversary; liveness
+(Byzantine independence) is only promised when the adversary does not
+fully control the network, mirroring Theorem 2's caveat.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Protocol
+
+from repro.config import NetworkConfig
+from repro.errors import SimulationError
+from repro.sim.loop import Simulator
+from repro.sim.node import Node
+
+
+class NetworkAdversary(Protocol):
+    """Decides the fate of each message: a delay in seconds, or None to drop."""
+
+    def intercept(self, src: str, dst: str, message: Any, base_delay: float) -> float | None:
+        """Return the actual delivery delay, or ``None`` to drop."""
+
+
+class PassiveAdversary:
+    """Default adversary: delivers everything with the modeled latency."""
+
+    def intercept(self, src: str, dst: str, message: Any, base_delay: float) -> float | None:
+        return base_delay
+
+
+class Network:
+    """Routes messages between registered nodes on the simulator."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: NetworkConfig | None = None,
+        adversary: NetworkAdversary | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config or NetworkConfig()
+        self.adversary: NetworkAdversary = adversary or PassiveAdversary()
+        self._nodes: dict[str, Node] = {}
+        self._rng = sim.rng("network")
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+
+    # -- membership -----------------------------------------------------
+    def register(self, node: Node) -> None:
+        if node.name in self._nodes:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+
+    def node(self, name: str) -> Node:
+        return self._nodes[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- latency model ----------------------------------------------------
+    def sample_latency(self) -> float:
+        base = self.config.one_way_latency
+        if self.config.jitter:
+            base += self._rng.uniform(0.0, self.config.jitter)
+        return base
+
+    # -- sending ----------------------------------------------------------
+    def send(self, src: Node, dst: str, message: Any) -> None:
+        """Fire-and-forget unicast from ``src`` to the node named ``dst``."""
+        if dst not in self._nodes:
+            raise SimulationError(f"unknown destination {dst!r}")
+        src.messages_sent += 1
+        if self.config.drop_rate and self._rng.random() < self.config.drop_rate:
+            self.messages_dropped += 1
+            return
+        delay = self.adversary.intercept(src.name, dst, message, self.sample_latency())
+        if delay is None:
+            self.messages_dropped += 1
+            return
+        self.sim.call_later(delay, self._deliver, src.name, dst, message)
+
+    def broadcast(self, src: Node, dsts: Iterable[str], message: Any) -> None:
+        """Unicast the same message to every destination (independent delays)."""
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    def _deliver(self, src: str, dst: str, message: Any) -> None:
+        node = self._nodes.get(dst)
+        if node is None:  # node was torn down mid-flight
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        node.deliver(src, message)

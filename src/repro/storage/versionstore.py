@@ -1,0 +1,254 @@
+"""A multiversioned key-value store with prepared/committed visibility.
+
+This is the storage substrate under one replica.  It tracks, per key:
+
+* **committed versions** — ordered by writer timestamp, visible to reads;
+* **prepared versions** — writes of transactions that passed MVTSO-Check
+  but have not yet committed (Basil makes these visible so other clients
+  can pick up dependencies, Sec 4.1);
+* **read timestamps (RTS)** — reservations left by reads, which cause
+  lower-timestamped writers to abort (MVTSO-Check step 5);
+* **read index** — which (prepared|committed) transaction read which
+  version, needed by MVTSO-Check step 4.
+
+Timestamps are opaque, totally ordered values (Basil uses
+``(time, client_id)`` tuples via :class:`repro.core.timestamps.Timestamp`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generic, Hashable, Iterable, TypeVar
+
+from repro.errors import StorageError
+
+TS = TypeVar("TS")
+Key = Hashable
+
+
+class VersionStatus(enum.Enum):
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+
+
+@dataclass(frozen=True)
+class Version(Generic[TS]):
+    """One version of one key, created by the write of one transaction."""
+
+    key: Any
+    timestamp: TS
+    value: Any
+    writer: bytes  # transaction id (digest) that wrote this version
+    status: VersionStatus = VersionStatus.COMMITTED
+
+    def canonical_fields(self) -> tuple:
+        return (self.key, self.timestamp, self.value, self.writer, self.status.value)
+
+
+@dataclass
+class _KeyState:
+    """Per-key bookkeeping. All lists are kept sorted by timestamp."""
+
+    committed: list[tuple[Any, Version]] = field(default_factory=list)
+    prepared: list[tuple[Any, Version]] = field(default_factory=list)
+    #: Read-timestamp reservations: sorted list of timestamps.
+    rts: list[Any] = field(default_factory=list)
+    #: Reads by prepared/committed transactions: sorted by reader timestamp,
+    #: entries are (reader_ts, version_ts_read, reader_txid).
+    reads: list[tuple[Any, Any, bytes]] = field(default_factory=list)
+
+
+class VersionStore(Generic[TS]):
+    """Multiversion store for one replica (or one baseline shard server)."""
+
+    def __init__(self) -> None:
+        self._keys: dict[Key, _KeyState] = {}
+
+    def _state(self, key: Key) -> _KeyState:
+        state = self._keys.get(key)
+        if state is None:
+            state = _KeyState()
+            self._keys[key] = state
+        return state
+
+    def __contains__(self, key: Key) -> bool:
+        state = self._keys.get(key)
+        return bool(state and state.committed)
+
+    def keys(self) -> Iterable[Key]:
+        return self._keys.keys()
+
+    # ------------------------------------------------------------------
+    # Loading / committed writes
+    # ------------------------------------------------------------------
+    def apply_committed_write(self, key: Key, timestamp: TS, value: Any, writer: bytes) -> None:
+        """Insert a committed version at its timestamp position.
+
+        Versions may arrive out of timestamp order (replicas process
+        transactions independently); insertion keeps the chain sorted, as
+        the paper's proof of Lemma 1 requires.
+        """
+        state = self._state(key)
+        version = Version(key, timestamp, value, writer, VersionStatus.COMMITTED)
+        idx = bisect.bisect_left(state.committed, timestamp, key=lambda e: e[0])
+        if idx < len(state.committed) and state.committed[idx][0] == timestamp:
+            existing = state.committed[idx][1]
+            if existing.writer != writer:
+                raise StorageError(
+                    f"two committed writers at the same timestamp on {key!r}"
+                )
+            return  # duplicate writeback delivery: idempotent
+        state.committed.insert(idx, (timestamp, version))
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def latest_committed(self, key: Key, before: TS) -> Version | None:
+        """Highest-timestamped committed version with ts < ``before``."""
+        state = self._keys.get(key)
+        if not state or not state.committed:
+            return None
+        idx = bisect.bisect_left(state.committed, before, key=lambda e: e[0])
+        if idx == 0:
+            return None
+        return state.committed[idx - 1][1]
+
+    def latest_prepared(self, key: Key, before: TS) -> Version | None:
+        """Highest-timestamped prepared version with ts < ``before``."""
+        state = self._keys.get(key)
+        if not state or not state.prepared:
+            return None
+        idx = bisect.bisect_left(state.prepared, before, key=lambda e: e[0])
+        if idx == 0:
+            return None
+        return state.prepared[idx - 1][1]
+
+    def update_rts(self, key: Key, timestamp: TS) -> None:
+        """Record a read reservation at ``timestamp`` (idempotent)."""
+        state = self._state(key)
+        idx = bisect.bisect_left(state.rts, timestamp)
+        if idx < len(state.rts) and state.rts[idx] == timestamp:
+            return
+        state.rts.insert(idx, timestamp)
+
+    def remove_rts(self, key: Key, timestamp: TS) -> None:
+        """Drop a read reservation (client-initiated abort, Sec 4.1)."""
+        state = self._keys.get(key)
+        if not state:
+            return
+        idx = bisect.bisect_left(state.rts, timestamp)
+        if idx < len(state.rts) and state.rts[idx] == timestamp:
+            state.rts.pop(idx)
+
+    def max_rts(self, key: Key) -> TS | None:
+        state = self._keys.get(key)
+        if not state or not state.rts:
+            return None
+        return state.rts[-1]
+
+    # ------------------------------------------------------------------
+    # Prepare / commit / abort lifecycle
+    # ------------------------------------------------------------------
+    def add_prepared_write(self, key: Key, timestamp: TS, value: Any, writer: bytes) -> None:
+        state = self._state(key)
+        version = Version(key, timestamp, value, writer, VersionStatus.PREPARED)
+        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        if idx < len(state.prepared) and state.prepared[idx][0] == timestamp:
+            return  # duplicate prepare: idempotent
+        state.prepared.insert(idx, (timestamp, version))
+
+    def add_read(self, key: Key, reader_ts: TS, version_read: TS, reader: bytes) -> None:
+        """Index a read performed by a now-prepared transaction."""
+        state = self._state(key)
+        entry = (reader_ts, version_read, reader)
+        idx = bisect.bisect_left(state.reads, entry)
+        if idx < len(state.reads) and state.reads[idx] == entry:
+            return
+        state.reads.insert(idx, entry)
+
+    def remove_prepared_write(self, key: Key, timestamp: TS) -> None:
+        state = self._keys.get(key)
+        if not state:
+            return
+        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        if idx < len(state.prepared) and state.prepared[idx][0] == timestamp:
+            state.prepared.pop(idx)
+
+    def remove_read(self, key: Key, reader_ts: TS, version_read: TS, reader: bytes) -> None:
+        state = self._keys.get(key)
+        if not state:
+            return
+        entry = (reader_ts, version_read, reader)
+        idx = bisect.bisect_left(state.reads, entry)
+        if idx < len(state.reads) and state.reads[idx] == entry:
+            state.reads.pop(idx)
+
+    def promote_prepared_write(self, key: Key, timestamp: TS) -> None:
+        """Move a prepared version into the committed chain."""
+        state = self._state(key)
+        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        if idx >= len(state.prepared) or state.prepared[idx][0] != timestamp:
+            return  # already promoted (duplicate writeback) or never prepared here
+        _, version = state.prepared.pop(idx)
+        self.apply_committed_write(key, timestamp, version.value, version.writer)
+
+    # ------------------------------------------------------------------
+    # Conflict queries used by MVTSO-Check
+    # ------------------------------------------------------------------
+    def writes_between(self, key: Key, low: TS, high: TS) -> list[Version]:
+        """Committed or prepared versions with low < ts < high.
+
+        MVTSO-Check step 3: a write in this window means transaction with
+        read (key, version=low) and timestamp high missed it.
+        """
+        state = self._keys.get(key)
+        if not state:
+            return []
+        found: list[Version] = []
+        for chain in (state.committed, state.prepared):
+            lo = bisect.bisect_right(chain, low, key=lambda e: e[0])
+            hi = bisect.bisect_left(chain, high, key=lambda e: e[0])
+            found.extend(v for _, v in chain[lo:hi])
+        return found
+
+    def reads_spanning(self, key: Key, write_ts: TS) -> list[tuple[Any, Any, bytes]]:
+        """Reads by prepared/committed txns with version_read < write_ts < reader_ts.
+
+        MVTSO-Check step 4: such a reader should have observed our write
+        but could not have.
+        """
+        state = self._keys.get(key)
+        if not state:
+            return []
+        lo = bisect.bisect_right(state.reads, write_ts, key=lambda e: e[0])
+        return [e for e in state.reads[lo:] if e[1] < write_ts]
+
+    def has_rts_above(self, key: Key, timestamp: TS) -> bool:
+        """MVTSO-Check step 5: an RTS above our write timestamp exists."""
+        top = self.max_rts(key)
+        return top is not None and top > timestamp
+
+    # ------------------------------------------------------------------
+    # Introspection (tests, invariant checks)
+    # ------------------------------------------------------------------
+    def committed_versions(self, key: Key) -> list[Version]:
+        state = self._keys.get(key)
+        return [v for _, v in state.committed] if state else []
+
+    def prepared_versions(self, key: Key) -> list[Version]:
+        state = self._keys.get(key)
+        return [v for _, v in state.prepared] if state else []
+
+    def check_invariants(self) -> None:
+        """Raise StorageError if any per-key ordering invariant is broken."""
+        for key, state in self._keys.items():
+            for chain in (state.committed, state.prepared):
+                stamps = [ts for ts, _ in chain]
+                if stamps != sorted(stamps):
+                    raise StorageError(f"unsorted version chain for {key!r}")
+                if len(set(stamps)) != len(stamps):
+                    raise StorageError(f"duplicate version timestamp for {key!r}")
+            if state.rts != sorted(state.rts):
+                raise StorageError(f"unsorted RTS list for {key!r}")

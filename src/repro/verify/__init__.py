@@ -1,0 +1,12 @@
+"""Offline consistency checking of executed histories.
+
+:mod:`repro.verify.history` rebuilds the global committed history from a
+system's replicas after a run and checks Byz-serializability directly:
+replica convergence, acyclicity of the serialization graph, and exact
+read-your-serial-order replay.  Tests and the benchmark harness use it
+as an end-to-end oracle.
+"""
+
+from repro.verify.history import HistoryChecker, HistoryViolation
+
+__all__ = ["HistoryChecker", "HistoryViolation"]

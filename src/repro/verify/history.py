@@ -1,0 +1,148 @@
+"""Byz-serializability checking over a finished Basil run.
+
+The checker inspects replica state directly (it is an offline oracle,
+not a protocol participant) and verifies, in the spirit of Appendix B:
+
+1. **Convergence** (Lemma 2 corollary): replicas of a shard that decided
+   a transaction decided it the same way, and committed version chains
+   are prefix-consistent across replicas.
+2. **Acyclic serialization** (Lemma 1 / Theorem 1): replaying every
+   committed transaction in timestamp order, each read observed exactly
+   the latest committed write below its timestamp — i.e. the history is
+   equivalent to the serial order induced by timestamps.
+3. **Decision uniqueness**: no transaction is COMMITTED on one replica
+   and ABORTED on another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.certificates import GENESIS_TXID
+from repro.core.mvtso import TxPhase
+from repro.core.timestamps import GENESIS
+
+
+@dataclass
+class HistoryViolation:
+    """One detected inconsistency."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.kind}] {self.detail}"
+
+
+@dataclass
+class HistoryChecker:
+    """Collects and checks the committed history of a BasilSystem."""
+
+    system: Any
+    violations: list[HistoryViolation] = field(default_factory=list)
+
+    def check(self) -> list[HistoryViolation]:
+        """Run all checks; returns the (possibly empty) violation list."""
+        self.violations = []
+        for shard in range(self.system.config.num_shards):
+            replicas = self.system.shard_replicas(shard)
+            self._check_decision_uniqueness(shard, replicas)
+            self._check_store_convergence(shard, replicas)
+        self._check_serial_replay()
+        return self.violations
+
+    def assert_ok(self) -> None:
+        violations = self.check()
+        if violations:
+            raise AssertionError(
+                "history violations:\n" + "\n".join(str(v) for v in violations)
+            )
+
+    # ------------------------------------------------------------------
+    def _flag(self, kind: str, detail: str) -> None:
+        self.violations.append(HistoryViolation(kind=kind, detail=detail))
+
+    def _check_decision_uniqueness(self, shard: int, replicas) -> None:
+        decisions: dict[bytes, TxPhase] = {}
+        for replica in replicas:
+            for txid, state in replica.tx_states.items():
+                if state.phase in (TxPhase.COMMITTED, TxPhase.ABORTED):
+                    prior = decisions.get(txid)
+                    if prior is None:
+                        decisions[txid] = state.phase
+                    elif prior is not state.phase:
+                        self._flag(
+                            "decision-divergence",
+                            f"shard {shard} tx {txid.hex()[:8]}: "
+                            f"{prior.value} vs {state.phase.value}",
+                        )
+
+    def _check_store_convergence(self, shard: int, replicas) -> None:
+        """Committed chains must be prefix-consistent across replicas.
+
+        A lagging replica may be missing recent versions (writebacks are
+        asynchronous), but any version it *has* must match its peers.
+        """
+        keys = set()
+        for replica in replicas:
+            keys.update(replica.store.keys())
+        for key in keys:
+            chains = []
+            for replica in replicas:
+                chains.append(
+                    [
+                        (v.timestamp, v.writer)
+                        for v in replica.store.committed_versions(key)
+                    ]
+                )
+            merged: dict[Any, Any] = {}
+            for chain in chains:
+                for timestamp, writer in chain:
+                    prior = merged.get(timestamp)
+                    if prior is None:
+                        merged[timestamp] = writer
+                    elif prior != writer:
+                        self._flag(
+                            "version-divergence",
+                            f"shard {shard} key {key!r} at {timestamp}: "
+                            f"writers {prior.hex()[:8]} vs {writer.hex()[:8]}",
+                        )
+
+    # ------------------------------------------------------------------
+    def _committed_transactions(self) -> dict[bytes, Any]:
+        committed: dict[bytes, Any] = {}
+        for replica in self.system.replicas.values():
+            for txid, state in replica.tx_states.items():
+                if state.phase is TxPhase.COMMITTED and state.tx is not None:
+                    committed[txid] = state.tx
+        return committed
+
+    def _check_serial_replay(self) -> None:
+        """Every committed read must match the timestamp-serial replay."""
+        committed = self._committed_transactions()
+        committed_ids = set(committed) | {GENESIS_TXID}
+        last_write: dict[Any, Any] = {}
+
+        # genesis versions participate as writes at the GENESIS timestamp
+        for tx in sorted(committed.values(), key=lambda t: t.timestamp):
+            for key, version in tx.read_set:
+                expected = last_write.get(key, GENESIS)
+                if version != expected:
+                    # a read below expected means the transaction read a
+                    # version that was later overwritten *below* its own
+                    # timestamp — a missed write the check must catch
+                    self._flag(
+                        "non-serializable-read",
+                        f"tx {tx.txid.hex()[:8]}@{tx.timestamp} read "
+                        f"{key!r}@{version}, serial order says {expected}",
+                    )
+            for dep in tx.deps:
+                if dep.txid not in committed_ids:
+                    self._flag(
+                        "dep-on-uncommitted",
+                        f"tx {tx.txid.hex()[:8]} committed but its "
+                        f"dependency {dep.txid.hex()[:8]} did not",
+                    )
+            for key, _value in tx.write_set:
+                last_write[key] = tx.timestamp

@@ -1,0 +1,30 @@
+"""The paper's benchmark workloads, re-implemented against the KV API.
+
+* :mod:`repro.workloads.ycsb` — the YCSB-T microbenchmark (Sec 6.2):
+  RW-U (uniform), RW-Z (Zipfian 0.9), and read-only variants.
+* :mod:`repro.workloads.smallbank` — Smallbank (Sec 6.1): banking mix,
+  hot-account skew (1k accounts receive 90% of accesses).
+* :mod:`repro.workloads.retwis` — the TAPIR paper's Retwis-based social
+  network mix, Zipfian 0.75 over users.
+* :mod:`repro.workloads.tpcc` — TPC-C with auxiliary index tables in
+  place of secondary indices, exactly as the paper describes.
+
+All workloads implement :class:`repro.workloads.base.Workload`: they
+provide genesis data and generate transaction bodies that run against
+the system-agnostic session API.
+"""
+
+from repro.workloads.base import TxOutcome, Workload
+from repro.workloads.retwis import RetwisWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "RetwisWorkload",
+    "SmallbankWorkload",
+    "TxOutcome",
+    "Workload",
+    "YCSBWorkload",
+    "ZipfGenerator",
+]

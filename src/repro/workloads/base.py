@@ -1,0 +1,59 @@
+"""Workload interface shared by all benchmarks.
+
+A workload provides (a) the genesis data to load, and (b) a stream of
+transaction *bodies*: async callables that drive one transaction against
+a session exposing ``read``/``write``/``commit``.  Bodies are system
+agnostic — the same TPC-C code runs over Basil, TAPIR, and TxSMR.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable
+
+#: A transaction body: drives reads/writes on a session.  The harness
+#: calls ``commit()`` afterwards and handles retries.
+TxBody = Callable[[Any], Awaitable[Any]]
+
+
+@dataclass
+class TxOutcome:
+    """What a transaction body asks the harness to do next."""
+
+    #: Bodies normally return None; USER_ABORT asks for session.abort().
+    USER_ABORT = "user-abort"
+
+
+@dataclass(frozen=True)
+class TxTask:
+    """One generated transaction: a tagged body."""
+
+    name: str
+    body: TxBody
+
+
+class Workload:
+    """Base class: subclasses generate data and transactions."""
+
+    name = "base"
+
+    def load_data(self) -> dict[Any, Any]:
+        """Genesis key/value state for ``system.load``."""
+        raise NotImplementedError
+
+    def next_transaction(self, rng: random.Random) -> TxTask:
+        """Generate the next transaction for one closed-loop client."""
+        raise NotImplementedError
+
+
+def pick_mix(rng: random.Random, mix: list[tuple[str, float]]) -> str:
+    """Sample a transaction type from a (name, weight) mix."""
+    total = sum(w for _, w in mix)
+    roll = rng.random() * total
+    acc = 0.0
+    for name, weight in mix:
+        acc += weight
+        if roll < acc:
+            return name
+    return mix[-1][0]

@@ -1,0 +1,17 @@
+"""TPC-C over a key-value store (Sec 6.1).
+
+The paper configures 20 warehouses and — lacking secondary indices —
+adds auxiliary tables to (i) locate a customer's latest order (order
+status) and (ii) look customers up by last name (order status and
+payment).  This implementation does exactly that: see
+:mod:`repro.workloads.tpcc.schema` for the key encodings, including the
+``cust_by_name`` and ``cust_latest_order`` auxiliary tables.
+
+Population sizes are scaled down by default (items, customers per
+district) so a simulated run fits in memory; the knobs accept the full
+TPC-C scale.
+"""
+
+from repro.workloads.tpcc.loader import TPCCWorkload
+
+__all__ = ["TPCCWorkload"]

@@ -1,0 +1,105 @@
+"""TPC-C key encodings and record construction.
+
+Every table row is one KV pair; composite primary keys become structured
+string keys.  Two auxiliary tables replace secondary indices (paper Sec
+6.1): ``cust_by_name`` maps (warehouse, district, last-name) to the list
+of matching customer ids, and ``cust_latest_order`` maps a customer to
+their most recent order id.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: TPC-C's syllable table for generating customer last names.
+SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def lastname_for(number: int) -> str:
+    """The spec's deterministic last-name generator (run 0-999)."""
+    return (
+        SYLLABLES[(number // 100) % 10]
+        + SYLLABLES[(number // 10) % 10]
+        + SYLLABLES[number % 10]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Key encoders
+# ---------------------------------------------------------------------------
+def warehouse_key(w: int) -> str:
+    return f"tpcc:w:{w}"
+
+
+def district_key(w: int, d: int) -> str:
+    return f"tpcc:d:{w}:{d}"
+
+
+def customer_key(w: int, d: int, c: int) -> str:
+    return f"tpcc:c:{w}:{d}:{c}"
+
+
+def cust_by_name_key(w: int, d: int, lastname: str) -> str:
+    return f"tpcc:cidx:{w}:{d}:{lastname}"
+
+
+def cust_latest_order_key(w: int, d: int, c: int) -> str:
+    return f"tpcc:clast:{w}:{d}:{c}"
+
+
+def order_key(w: int, d: int, o: int) -> str:
+    return f"tpcc:o:{w}:{d}:{o}"
+
+
+def new_order_key(w: int, d: int, o: int) -> str:
+    return f"tpcc:no:{w}:{d}:{o}"
+
+
+def order_line_key(w: int, d: int, o: int, line: int) -> str:
+    return f"tpcc:ol:{w}:{d}:{o}:{line}"
+
+
+def item_key(i: int) -> str:
+    return f"tpcc:i:{i}"
+
+
+def stock_key(w: int, i: int) -> str:
+    return f"tpcc:s:{w}:{i}"
+
+
+def history_key(w: int, d: int, c: int, seq: int) -> str:
+    return f"tpcc:h:{w}:{d}:{c}:{seq}"
+
+
+# ---------------------------------------------------------------------------
+# Record constructors (loaded / written values are plain dicts)
+# ---------------------------------------------------------------------------
+def make_warehouse(w: int) -> dict:
+    return {"id": w, "name": f"W{w}", "tax": 0.05, "ytd": 0.0}
+
+
+def make_district(w: int, d: int) -> dict:
+    return {
+        "w": w, "id": d, "tax": 0.07, "ytd": 0.0,
+        "next_o_id": 1, "next_delivery_o_id": 1,
+    }
+
+
+def make_customer(w: int, d: int, c: int, lastname: str) -> dict:
+    return {
+        "w": w, "d": d, "id": c,
+        "last": lastname, "first": f"F{c}",
+        "balance": -10.0, "ytd_payment": 10.0,
+        "payment_cnt": 0, "delivery_cnt": 0, "credit": "GC",
+    }
+
+
+def make_item(i: int, rng: random.Random) -> dict:
+    return {"id": i, "name": f"item-{i}", "price": 1 + (rng.random() * 99)}
+
+
+def make_stock(w: int, i: int, rng: random.Random) -> dict:
+    return {"w": w, "i": i, "quantity": rng.randrange(10, 101), "ytd": 0, "order_cnt": 0}

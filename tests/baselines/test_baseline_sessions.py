@@ -1,0 +1,66 @@
+"""Cross-baseline session-contract tests: all systems expose the same API."""
+
+import pytest
+
+from repro.baselines.tapir.system import TapirSystem
+from repro.baselines.txsmr.system import TxSMRSystem
+from repro.config import SystemConfig
+from repro.core.system import BasilSystem
+
+
+def all_systems():
+    cfg = dict(f=1, num_shards=1, batch_size=2, smr_batch_size=4,
+               smr_batch_timeout=0.001)
+    return [
+        ("basil", BasilSystem(SystemConfig(**cfg))),
+        ("tapir", TapirSystem(SystemConfig(**cfg))),
+        ("txpbft", TxSMRSystem(SystemConfig(**cfg), protocol="pbft")),
+        ("txhs", TxSMRSystem(SystemConfig(**cfg), protocol="hotstuff")),
+    ]
+
+
+@pytest.mark.parametrize("name,system", all_systems(), ids=lambda v: v if isinstance(v, str) else "")
+def test_common_session_contract(name, system):
+    """load / create_client / new_session / read / write / commit."""
+    system.load({"x": 1, "y": 2})
+    client = system.create_client()
+
+    async def main():
+        session = system.new_session(client)
+        x = await session.read("x")
+        assert x == 1
+        session.write("y", x + 10)
+        assert await session.read("y") == 11  # read-your-writes
+        result = await session.commit()
+        assert result.committed
+        assert hasattr(result, "fast_path")
+        assert result.timestamp is not None
+
+    system.sim.run_until_complete(main())
+    system.run()
+    assert system.committed_value("y") == 11
+
+
+@pytest.mark.parametrize("name,system", all_systems(), ids=lambda v: v if isinstance(v, str) else "")
+def test_empty_transaction_commits_everywhere(name, system):
+    system.load({})
+    client = system.create_client()
+
+    async def main():
+        session = system.new_session(client)
+        return await session.commit()
+
+    result = system.sim.run_until_complete(main())
+    assert result.committed
+
+
+@pytest.mark.parametrize("name,system", all_systems(), ids=lambda v: v if isinstance(v, str) else "")
+def test_missing_key_reads_none(name, system):
+    system.load({})
+    client = system.create_client()
+
+    async def main():
+        session = system.new_session(client)
+        return await session.read("ghost")
+
+    assert system.sim.run_until_complete(main()) is None

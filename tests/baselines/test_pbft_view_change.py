@@ -1,0 +1,110 @@
+"""Tests for PBFT view change (silent-leader recovery)."""
+
+import pytest
+
+from repro.baselines.smr.log import SMRClient, StateMachine
+from repro.baselines.smr.pbft import PBFTReplica
+from repro.config import SystemConfig
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+
+
+class Accumulator(StateMachine):
+    def __init__(self):
+        self.log = []
+
+    async def apply(self, op, index):
+        self.log.append(op)
+        return ("applied", len(self.log), op)
+
+
+def build_group(vc_timeout=0.02):
+    config = SystemConfig(
+        f=1, smr_batch_size=2, smr_batch_timeout=0.001, batch_size=1,
+        pbft_view_change_timeout=vc_timeout, request_timeout=0.01,
+    )
+    sim = Simulator(seed=11)
+    network = Network(sim, config.network)
+    registry = KeyRegistry(seed=1)
+    group = tuple(f"s0/r{i}" for i in range(4))
+    replicas = []
+    for name in group:
+        replica = PBFTReplica(sim, name, network, config, group, None, registry)
+        replica.app = Accumulator()
+        network.register(replica)
+        replicas.append(replica)
+    client = SMRClient(sim, "client/1", network, config, registry)
+    network.register(client)
+    return sim, network, replicas, client, group
+
+
+def test_silent_leader_is_replaced_and_ops_execute():
+    sim, network, replicas, client, group = build_group()
+    # kill the initial leader before any traffic
+    replicas[0].deliver = lambda sender, message: None
+
+    async def main():
+        return await client.submit(group, group[0], ("op", 1))
+
+    result = sim.run_until_complete(main())
+    assert result.result[0] == "applied"
+    live = replicas[1:]
+    assert all(r.view >= 1 for r in live)
+    assert any(r.view_changes_sent > 0 for r in live)
+    sim.run(until=sim.now + 0.05)
+    logs = {tuple(r.app.log) for r in live}
+    assert logs == {(("op", 1),)}
+
+
+def test_leader_killed_mid_stream_no_committed_op_lost():
+    sim, network, replicas, client, group = build_group()
+
+    async def main():
+        results = []
+        for i in range(3):
+            results.append(await client.submit(group, group[0], ("op", i)))
+        # leader dies; further ops must still be ordered by the new view
+        replicas[0].deliver = lambda sender, message: None
+        for i in range(3, 6):
+            results.append(await client.submit(group, group[0], ("op", i)))
+        return results
+
+    results = sim.run_until_complete(main())
+    assert len(results) == 6
+    sim.run(until=sim.now + 0.05)
+    live = replicas[1:]
+    logs = {tuple(r.app.log) for r in live}
+    assert len(logs) == 1  # identical order everywhere
+    ops = set(logs.pop())
+    assert {("op", i) for i in range(6)} <= ops
+
+
+def test_no_view_change_under_healthy_leader():
+    sim, network, replicas, client, group = build_group()
+
+    async def main():
+        for i in range(4):
+            await client.submit(group, group[0], ("op", i))
+
+    sim.run_until_complete(main())
+    sim.run(until=sim.now + 0.1)
+    assert all(r.view == 0 for r in replicas)
+    assert all(r.view_changes_sent == 0 for r in replicas)
+
+
+def test_view_change_disabled_by_default():
+    config = SystemConfig(f=1)
+    assert config.pbft_view_change_timeout is None
+    sim, network, replicas, client, group = build_group(vc_timeout=None)
+    replicas[0].deliver = lambda sender, message: None
+
+    async def main():
+        return await client.submit(group, group[0], ("op", 1))
+
+    # without view changes a silent leader stalls the group: the client
+    # eventually gives up (ProtocolError)
+    from repro.errors import ProtocolError
+
+    with pytest.raises(ProtocolError):
+        sim.run_until_complete(main())

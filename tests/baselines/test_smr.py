@@ -1,0 +1,160 @@
+"""Tests for the PBFT and HotStuff SMR substrates."""
+
+import pytest
+
+from repro.baselines.smr.hotstuff import HotStuffReplica
+from repro.baselines.smr.log import SMRClient, StateMachine
+from repro.baselines.smr.pbft import PBFTReplica
+from repro.config import SystemConfig
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+
+
+class Accumulator(StateMachine):
+    """Appends ops; replies with (index-in-log, op)."""
+
+    def __init__(self):
+        self.log = []
+
+    async def apply(self, op, index):
+        self.log.append(op)
+        return ("applied", len(self.log), op)
+
+
+def build_group(protocol, config=None, nodes=4):
+    config = config or SystemConfig(f=1, smr_batch_size=4, smr_batch_timeout=0.001, batch_size=1)
+    sim = Simulator(seed=3)
+    network = Network(sim, config.network)
+    registry = KeyRegistry(seed=1)
+    group = tuple(f"s0/r{i}" for i in range(nodes))
+    replica_class = PBFTReplica if protocol == "pbft" else HotStuffReplica
+    replicas = []
+    for name in group:
+        replica = replica_class(sim, name, network, config, group, None, registry)
+        replica.app = Accumulator()
+        network.register(replica)
+        replicas.append(replica)
+    client = SMRClient(
+        sim, "client/1", network, config, registry,
+        broadcast_requests=(protocol == "hotstuff"),
+    )
+    network.register(client)
+    return sim, network, replicas, client, group, registry
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_single_op_executes_on_all_replicas(protocol):
+    sim, _net, replicas, client, group, registry = build_group(protocol)
+
+    async def main():
+        return await client.submit(group, group[0], ("set", "x", 1))
+
+    result = sim.run_until_complete(main())
+    assert result.result[0] == "applied"
+    assert len(result.proof) >= 2  # f+1 attestations
+    sim.run()
+    logs = [r.app.log for r in replicas]
+    assert all(log == [("set", "x", 1)] for log in logs)
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_total_order_identical_across_replicas(protocol):
+    sim, _net, replicas, client, group, registry = build_group(protocol)
+
+    async def main():
+        return await sim.gather(
+            [client.submit(group, group[0], ("op", i)) for i in range(12)]
+        )
+
+    results = sim.run_until_complete(main())
+    assert len(results) == 12
+    sim.run()
+    logs = [tuple(r.app.log) for r in replicas]
+    assert len(set(logs)) == 1  # byte-identical order everywhere
+    assert sorted(logs[0]) == [("op", i) for i in range(12)]
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_concurrent_clients_agree(protocol):
+    sim, network, replicas, client, group, registry = build_group(protocol)
+    config = client.config
+    client2 = SMRClient(
+        sim, "client/2", network, config, registry,
+        broadcast_requests=(protocol == "hotstuff"),
+    )
+    network.register(client2)
+
+    async def main():
+        return await sim.gather(
+            [client.submit(group, group[0], ("a", i)) for i in range(5)]
+            + [client2.submit(group, group[0], ("b", i)) for i in range(5)]
+        )
+
+    sim.run_until_complete(main())
+    sim.run()
+    logs = [tuple(r.app.log) for r in replicas]
+    assert len(set(logs)) == 1
+    assert len(logs[0]) == 10
+
+
+def test_pbft_message_delay_shape():
+    """Latency floor ~5 one-way delays (request, 3 phases, reply)."""
+    config = SystemConfig(
+        f=1, smr_batch_size=1, smr_batch_timeout=0.0005, batch_size=1,
+        crypto=SystemConfig().crypto.__class__(enabled=False),
+    )
+    sim, _net, _reps, client, group, registry = build_group("pbft", config)
+
+    async def main():
+        start = sim.now
+        await client.submit(group, group[0], ("x",))
+        return sim.now - start
+
+    latency = sim.run_until_complete(main())
+    one_way = config.network.one_way_latency
+    assert latency >= 5 * one_way
+
+
+def test_hotstuff_higher_latency_than_pbft():
+    results = {}
+    for protocol in ("pbft", "hotstuff"):
+        config = SystemConfig(
+            f=1, smr_batch_size=1, smr_batch_timeout=0.0005, batch_size=1,
+        )
+        sim, _net, _reps, client, group, registry = build_group(protocol, config)
+
+        async def main():
+            start = sim.now
+            await client.submit(group, group[0], ("x",))
+            return sim.now - start
+
+        results[protocol] = sim.run_until_complete(main())
+    assert results["hotstuff"] > results["pbft"]
+
+
+def test_pbft_batches_amortize_consensus():
+    """Many ops, small batch cap: ops per consensus batch <= cap."""
+    sim, _net, replicas, client, group, registry = build_group("pbft")
+
+    async def main():
+        await sim.gather([client.submit(group, group[0], ("op", i)) for i in range(16)])
+
+    sim.run_until_complete(main())
+    sim.run()
+    leader = replicas[0]
+    assert leader.batches_ordered >= 4  # 16 ops / batch cap 4
+
+
+def test_hotstuff_rotates_proposers():
+    sim, _net, replicas, client, group, registry = build_group("hotstuff")
+
+    async def main():
+        for i in range(8):
+            await client.submit(group, group[0], ("op", i))
+
+    sim.run_until_complete(main())
+    sim.run()
+    # several distinct replicas proposed blocks
+    proposers = {r.name for r in replicas if r._proposed_rounds}
+    assert len(proposers) >= 3

@@ -1,0 +1,136 @@
+"""System tests for the TxSMR (2PC over ordered shards) baseline."""
+
+import pytest
+
+from repro.baselines.txsmr.system import TxSMRSystem
+from repro.config import SystemConfig
+
+
+def make_system(protocol, num_shards=1):
+    sys_ = TxSMRSystem(
+        SystemConfig(f=1, num_shards=num_shards, smr_batch_size=4,
+                     smr_batch_timeout=0.001, batch_size=1),
+        protocol=protocol,
+    )
+    sys_.load({f"key-{i}": i for i in range(20)})
+    return sys_
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_uses_3f_plus_1_replicas(protocol):
+    sys_ = make_system(protocol)
+    assert len(sys_.replicas) == 4
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_read_modify_write_commits(protocol):
+    sys_ = make_system(protocol)
+    client = sys_.create_client()
+
+    async def main():
+        session = sys_.new_session(client)
+        value = await session.read("key-1")
+        session.write("key-1", value + 100)
+        return await session.commit()
+
+    result = sys_.sim.run_until_complete(main())
+    assert result.committed
+    assert not result.fast_path  # no fast path exists in this architecture
+    sys_.run()
+    assert sys_.committed_value("key-1") == 101
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_conflicting_rmw_serializes(protocol):
+    sys_ = make_system(protocol)
+    a, b = sys_.create_client(), sys_.create_client()
+
+    async def rmw(client, delta):
+        session = sys_.new_session(client)
+        value = await session.read("key-1")
+        session.write("key-1", value + delta)
+        return await session.commit()
+
+    async def main():
+        return await sys_.sim.gather([rmw(a, 10), rmw(b, 100)])
+
+    ra, rb = sys_.sim.run_until_complete(main())
+    sys_.run()
+    final = sys_.committed_value("key-1")
+    if ra.committed and rb.committed:
+        assert final == 111
+    elif ra.committed or rb.committed:
+        assert final in (11, 101)
+    else:
+        assert final == 1
+
+
+@pytest.mark.parametrize("protocol", ["pbft"])
+def test_cross_shard_transaction(protocol):
+    sys_ = make_system(protocol, num_shards=2)
+    client = sys_.create_client()
+    keys = [f"key-{i}" for i in range(20)]
+    k0 = next(k for k in keys if sys_.sharder.shard_of(k) == 0)
+    k1 = next(k for k in keys if sys_.sharder.shard_of(k) == 1)
+
+    async def main():
+        session = sys_.new_session(client)
+        a = await session.read(k0)
+        b = await session.read(k1)
+        session.write(k0, a + b)
+        session.write(k1, -1)
+        return await session.commit()
+
+    result = sys_.sim.run_until_complete(main())
+    assert result.committed
+    sys_.run()
+    assert sys_.committed_value(k1) == -1
+
+
+@pytest.mark.parametrize("protocol", ["pbft"])
+def test_all_replica_stores_converge(protocol):
+    sys_ = make_system(protocol)
+    client = sys_.create_client()
+
+    async def main():
+        for i in range(5):
+            # let the previous iteration's asynchronous phase-2 commit
+            # land before reading (otherwise OCC sees the in-doubt lock)
+            await sys_.sim.sleep(0.05)
+            session = sys_.new_session(client)
+            v = await session.read("key-2")
+            session.write("key-2", v + 1)
+            result = await session.commit()
+            assert result.committed
+
+    sys_.sim.run_until_complete(main())
+    sys_.run()
+    values = {app.store.read("key-2") for app in sys_.apps.values()}
+    assert values == {(7, 6)}  # 2 + 5 increments; version bumped 5 times
+
+
+def test_rejects_unknown_protocol():
+    with pytest.raises(ValueError):
+        TxSMRSystem(SystemConfig(), protocol="raft")
+
+
+@pytest.mark.parametrize("protocol", ["pbft", "hotstuff"])
+def test_stale_read_aborts_and_is_retryable(protocol):
+    sys_ = make_system(protocol)
+    a, b = sys_.create_client(), sys_.create_client()
+
+    async def main():
+        s1 = sys_.new_session(a)
+        await s1.read("key-3")
+        # another client commits a newer version first
+        s2 = sys_.new_session(b)
+        v = await s2.read("key-3")
+        s2.write("key-3", v + 1)
+        assert (await s2.commit()).committed
+        await sys_.sim.sleep(0.05)  # phase-2 commit op lands
+        s1.write("key-3", 0)
+        return await s1.commit()
+
+    result = sys_.sim.run_until_complete(main())
+    assert not result.committed
+    assert result.retryable

@@ -1,0 +1,158 @@
+"""Tests for Byzantine replica behaviours: safety under replica attacks."""
+
+import pytest
+
+from repro.byzantine.replicas import (
+    EquivocatingVoteReplica,
+    FabricatingReadReplica,
+    PrepareAbstainingReplica,
+    SilentReplica,
+    StaleReadReplica,
+)
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.system import BasilSystem
+
+
+def make_system(byz_replica_class=None, byz_count=1, **overrides):
+    defaults = dict(f=1, num_shards=1, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    if byz_replica_class is not None:
+        for i in range(byz_count):
+            system.replace_replica(f"s0/r{i}", byz_replica_class)
+    system.load({f"k{i}": f"v{i}".encode() for i in range(10)})
+    return system
+
+
+def run(system, coro):
+    return system.sim.run_until_complete(coro)
+
+
+async def rmw(client, system):
+    session = TransactionSession(client)
+    value = await session.read("k1")
+    session.write("k1", (value or b"") + b"+")
+    return value, await session.commit()
+
+
+def test_silent_replica_slow_path_still_commits():
+    system = make_system(SilentReplica)
+    client = system.create_client()
+    value, result = run(system, rmw(client, system))
+    assert value == b"v1"
+    assert result.committed
+    assert not result.fast_path  # one silent replica kills unanimity
+
+
+def test_prepare_abstaining_replica_disables_fast_path_only():
+    system = make_system(PrepareAbstainingReplica)
+    client = system.create_client()
+    value, result = run(system, rmw(client, system))
+    assert value == b"v1"  # reads still answered
+    assert result.committed
+    assert not result.fast_path
+
+
+def test_stale_read_replica_cannot_win_highest_timestamp():
+    system = make_system(StaleReadReplica)
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        # commit a fresh version first
+        s1 = TransactionSession(a)
+        s1.write("k1", b"fresh")
+        assert (await s1.commit()).committed
+        await system.sim.sleep(0.01)
+        # reader contacts 2f+1 replicas starting at a rotation that
+        # includes the stale one; must still read the fresh value
+        s2 = TransactionSession(b)
+        return await s2.read("k1")
+
+    assert run(system, main()) == b"fresh"
+
+
+def test_stale_replica_alone_cannot_serve_reader():
+    """Even if the Byzantine replica answers fastest, f+1 replies are
+    required, so at least one correct replica's version competes."""
+    system = make_system(StaleReadReplica)
+    client = system.create_client()
+
+    async def main():
+        s1 = TransactionSession(client)
+        s1.write("k1", b"new")
+        assert (await s1.commit()).committed
+        await system.sim.sleep(0.01)
+        s2 = TransactionSession(system.create_client())
+        return await s2.read("k1")
+
+    assert run(system, main()) == b"new"
+
+
+def test_fabricated_reads_rejected():
+    system = make_system(FabricatingReadReplica)
+    client = system.create_client()
+
+    async def main():
+        session = TransactionSession(client)
+        return await session.read("k1")
+
+    # the fabricated value fails validity (non-genesis version claiming a
+    # genesis cert); the client reads the real value from correct replicas
+    assert run(system, main()) == b"v1"
+
+
+def test_fabricated_reads_never_become_dependencies():
+    system = make_system(FabricatingReadReplica)
+    client = system.create_client()
+
+    async def main():
+        session = TransactionSession(client)
+        await session.read("k1")
+        return session.builder.deps
+
+    assert run(system, main()) == {}
+
+
+def test_equivocating_votes_do_not_break_uniqueness():
+    system = make_system(EquivocatingVoteReplica)
+    a, b = system.create_client(), system.create_client()
+
+    async def pair():
+        s1, s2 = TransactionSession(a), TransactionSession(b)
+        v1 = await s1.read("k1")
+        v2 = await s2.read("k1")
+        s1.write("k1", b"A")
+        s2.write("k1", b"B")
+        r1, r2 = await system.sim.gather([s1.commit(), s2.commit()])
+        return r1, r2
+
+    r1, r2 = run(system, pair())
+    system.run()
+    # Whatever happened, replicas agree on committed state (Lemma 2).
+    values = set()
+    for replica in system.shard_replicas(0):
+        if replica.name == "s0/r0":
+            continue  # the Byzantine replica's store may diverge
+        versions = replica.store.committed_versions("k1")
+        values.add(versions[-1].value if versions else None)
+    assert len(values) == 1
+
+
+def test_f_plus_one_silent_replicas_still_live():
+    """With f=1, one faulty replica must never block progress."""
+    system = make_system(SilentReplica, byz_count=1)
+    client = system.create_client()
+
+    async def main():
+        for i in range(3):
+            session = TransactionSession(client)
+            value = await session.read("k2")
+            session.write("k2", b"x" * (i + 1))
+            result = await session.commit()
+            assert result.committed
+            await system.sim.sleep(0.005)
+
+    run(system, main())
+    system.run()
+    assert system.committed_value("k2") == b"xxx"

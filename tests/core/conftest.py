@@ -1,0 +1,30 @@
+"""Shared fixtures/helpers for core protocol tests."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.messages import PrepareVote, Vote
+from repro.core.sharding import Sharder
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+
+
+@pytest.fixture()
+def config():
+    return SystemConfig(f=1, num_shards=1)
+
+
+@pytest.fixture()
+def sharder(config):
+    return Sharder(config)
+
+
+@pytest.fixture()
+def registry(config):
+    return KeyRegistry(seed=config.seed)
+
+
+def sign_vote(registry, replica, txid, vote=Vote.COMMIT, conflict=None):
+    """Produce a plainly-signed ST1R attestation from ``replica``."""
+    payload = PrepareVote(txid=txid, replica=replica, vote=vote, conflict=conflict)
+    key = registry.issue(replica)
+    return SignedMessage(payload=payload, signature=key.sign(payload))

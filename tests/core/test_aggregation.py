@@ -1,0 +1,97 @@
+"""Tests for the modeled signature-aggregation optimization (Sec 4.4)."""
+
+import pytest
+
+from repro.config import CryptoConfig, SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.system import BasilSystem
+
+
+def make_system(aggregate):
+    config = SystemConfig(
+        f=1, num_shards=1, batch_size=1,
+        crypto=CryptoConfig(signature_aggregation=aggregate),
+    )
+    system = BasilSystem(config)
+    system.load({"k": b"v"})
+    return system
+
+
+def run_txn(system):
+    client = system.create_client()
+
+    async def body():
+        session = TransactionSession(client)
+        value = await session.read("k")
+        session.write("k", value + b"!")
+        return await session.commit()
+
+    result = system.sim.run_until_complete(body())
+    system.run()
+    return result
+
+
+def test_aggregation_preserves_correctness():
+    result = run_txn(make_system(aggregate=True))
+    assert result.committed and result.fast_path
+
+
+def test_aggregation_reduces_verifications():
+    counts = {}
+    for aggregate in (False, True):
+        system = make_system(aggregate)
+        result = run_txn(system)
+        assert result.committed
+        counts[aggregate] = sum(
+            r.crypto.signatures_verified for r in system.shard_replicas(0)
+        )
+    # writeback cert validation dominates: 6 votes per cert per replica
+    # without aggregation vs 1 aggregate check with it
+    assert counts[True] < counts[False]
+
+
+def test_aggregation_still_rejects_forged_votes():
+    """Aggregate-mode quorum verification must not skip soundness."""
+    from repro.core.attestation import AttestationVerifier
+    from repro.core.messages import PrepareVote, Vote
+    from repro.crypto.cost_model import CryptoContext
+    from repro.crypto.signatures import KeyRegistry, SignedMessage
+    from repro.sim.loop import Simulator
+    from repro.sim.node import Cpu
+
+    sim = Simulator()
+    registry = KeyRegistry(seed=1)
+    ctx = CryptoContext(registry, registry.issue("me"), CryptoConfig(), Cpu(sim, 4))
+    verifier = AttestationVerifier(ctx, aggregate=True)
+    good_key = registry.issue("r0")
+    evil_key = KeyRegistry(seed=99).issue("r1")
+    payload0 = PrepareVote(txid=b"\x01" * 32, replica="r0", vote=Vote.COMMIT)
+    payload1 = PrepareVote(txid=b"\x01" * 32, replica="r1", vote=Vote.COMMIT)
+    atts = [
+        SignedMessage(payload=payload0, signature=good_key.sign(payload0)),
+        SignedMessage(payload=payload1, signature=evil_key.sign(payload1)),
+    ]
+
+    async def main():
+        return await verifier.verify_quorum(atts)
+
+    assert sim.run_until_complete(main()) is False
+
+
+def test_empty_quorum_rejected():
+    from repro.core.attestation import AttestationVerifier
+    from repro.crypto.cost_model import CryptoContext
+    from repro.crypto.signatures import KeyRegistry
+    from repro.sim.loop import Simulator
+    from repro.sim.node import Cpu
+
+    sim = Simulator()
+    registry = KeyRegistry(seed=1)
+    ctx = CryptoContext(registry, registry.issue("me"), CryptoConfig(), Cpu(sim, 4))
+    for aggregate in (False, True):
+        verifier = AttestationVerifier(ctx, aggregate=aggregate)
+
+        async def main():
+            return await verifier.verify_quorum([])
+
+        assert sim.run_until_complete(main()) is False

@@ -1,0 +1,104 @@
+"""Tests for the public TransactionSession API."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.system import BasilSystem
+from repro.errors import TransactionAborted
+
+
+@pytest.fixture()
+def system():
+    sys_ = BasilSystem(SystemConfig(f=1, num_shards=1, batch_size=1))
+    sys_.load({"a": 1, "b": 2})
+    return sys_
+
+
+def run(system, coro):
+    return system.sim.run_until_complete(coro)
+
+
+def test_session_cannot_be_used_after_commit(system):
+    client = system.create_client()
+
+    async def main():
+        session = TransactionSession(client)
+        session.write("a", 9)
+        await session.commit()
+        with pytest.raises(TransactionAborted):
+            session.write("a", 10)
+        with pytest.raises(TransactionAborted):
+            await session.read("a")
+        with pytest.raises(TransactionAborted):
+            await session.commit()
+
+    run(system, main())
+
+
+def test_session_cannot_be_used_after_abort(system):
+    client = system.create_client()
+
+    async def main():
+        session = TransactionSession(client)
+        await session.read("a")
+        session.abort()
+        with pytest.raises(TransactionAborted):
+            session.abort()
+
+    run(system, main())
+
+
+def test_commit_or_raise(system):
+    client = system.create_client()
+
+    async def ok():
+        session = TransactionSession(client)
+        session.write("a", 5)
+        return await session.commit_or_raise()
+
+    result = run(system, ok())
+    assert result.committed
+
+
+def test_commit_or_raise_raises_on_abort(system):
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        low = TransactionSession(a)
+        await system.sim.sleep(0.005)
+        high = TransactionSession(b)
+        await high.read("a")  # RTS above low's timestamp
+        low.write("a", 0)
+        with pytest.raises(TransactionAborted):
+            await low.commit_or_raise()
+
+    run(system, main())
+
+
+def test_timestamp_property_stable(system):
+    client = system.create_client()
+    session = TransactionSession(client)
+    assert session.timestamp == session.builder.timestamp
+
+
+def test_run_transaction_returns_body_value(system):
+    async def body(session):
+        return (await session.read("a")) + (await session.read("b"))
+
+    result = system.run_transaction(body)
+    assert result.value == 3
+    assert result.committed
+
+
+def test_write_then_read_other_key(system):
+    client = system.create_client()
+
+    async def main():
+        session = TransactionSession(client)
+        session.write("c", 7)
+        assert await session.read("c") == 7
+        assert await session.read("a") == 1
+        return await session.commit()
+
+    assert run(system, main()).committed

@@ -1,0 +1,418 @@
+"""Integration tests: the full Basil system end to end."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.mvtso import TxPhase
+from repro.core.system import BasilSystem
+from repro.core.timestamps import GENESIS
+
+
+def make_system(**overrides):
+    defaults = dict(f=1, num_shards=1, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    system.load({f"k{i}": f"v{i}".encode() for i in range(10)})
+    return system
+
+
+def run(system, coro):
+    return system.sim.run_until_complete(coro)
+
+
+# ---------------------------------------------------------------------------
+# Happy paths
+# ---------------------------------------------------------------------------
+def test_read_only_transaction_commits_fast():
+    system = make_system()
+
+    async def body(session):
+        assert await session.read("k1") == b"v1"
+        return await session.commit()
+
+    result = run(system, body(TransactionSession(system.create_client())))
+    assert result.committed and result.fast_path
+
+
+def test_read_write_roundtrip_visible_after_writeback():
+    system = make_system()
+    client = system.create_client()
+
+    async def writer():
+        session = TransactionSession(client)
+        session.write("k1", b"updated")
+        return await session.commit()
+
+    result = run(system, writer())
+    assert result.committed
+    system.run()  # drain async writeback
+    assert system.committed_value("k1") == b"updated"
+    # every replica converged
+    for replica in system.shard_replicas(0):
+        assert replica.store.committed_versions("k1")[-1].value == b"updated"
+
+
+def test_read_your_own_buffered_write():
+    system = make_system()
+
+    async def body(session):
+        session.write("k1", b"mine")
+        assert await session.read("k1") == b"mine"
+        return await session.commit()
+
+    assert run(system, body(TransactionSession(system.create_client()))).committed
+
+
+def test_repeatable_read_served_from_cache():
+    system = make_system()
+    client = system.create_client()
+
+    async def body():
+        session = TransactionSession(client)
+        first = await session.read("k1")
+        sent_before = client.messages_sent
+        second = await session.read("k1")
+        assert client.messages_sent == sent_before  # no extra round-trip
+        assert first == second
+        return await session.commit()
+
+    assert run(system, body()).committed
+
+
+def test_read_of_missing_key_returns_none_and_commits():
+    system = make_system()
+
+    async def body(session):
+        assert await session.read("nope") is None
+        session.write("nope", b"now-exists")
+        return await session.commit()
+
+    assert run(system, body(TransactionSession(system.create_client()))).committed
+    system.run()
+    assert system.committed_value("nope") == b"now-exists"
+
+
+def test_empty_transaction_trivially_commits():
+    system = make_system()
+
+    async def body(session):
+        return await session.commit()
+
+    result = run(system, body(TransactionSession(system.create_client())))
+    assert result.committed and result.txid is None
+
+
+def test_sequential_counter_increments():
+    system = make_system()
+    client = system.create_client()
+
+    async def increment():
+        session = TransactionSession(client)
+        value = await session.read("counter")
+        session.write("counter", (value or 0) + 1)
+        return await session.commit()
+
+    for expected in range(1, 6):
+        assert run(system, increment()).committed
+        system.run()
+        assert system.committed_value("counter") == expected
+
+
+# ---------------------------------------------------------------------------
+# Conflicts and serializability
+# ---------------------------------------------------------------------------
+def test_conflicting_writers_at_most_one_commits():
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+
+    async def rmw(client, tag):
+        session = TransactionSession(client)
+        await session.read("k1")
+        session.write("k1", tag)
+        return await session.commit()
+
+    async def main():
+        return await system.sim.gather([rmw(a, b"A"), rmw(b, b"B")])
+
+    ra, rb = run(system, main())
+    system.run()
+    assert ra.committed or rb.committed  # Byzantine independence: progress
+    final = system.committed_value("k1")
+    if ra.committed and rb.committed:
+        # both committed => they must have serialized; final is the later ts
+        winner = max((ra, rb), key=lambda r: r.timestamp)
+        expected = b"A" if winner is ra else b"B"
+        assert final == expected
+    else:
+        assert final in (b"A", b"B")
+
+
+def test_stale_read_aborts_lagging_reader():
+    """A reader whose observed version was overwritten below its own
+    timestamp must abort (MVTSO-Check step 3 end to end)."""
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        # reader takes a snapshot read of k1 at an early timestamp
+        reader = TransactionSession(a)
+        await reader.read("k1")  # observes genesis version
+        # a writer with a strictly higher timestamp than the reader's
+        # cannot invalidate it, so advance well past clock skew and have
+        # the reader RE-issue its transaction at a later timestamp after
+        # a conflicting commit lands in between.
+        await system.sim.sleep(0.05)
+        writer = TransactionSession(b)
+        await writer.read("k1")
+        writer.write("k1", b"newer")
+        assert (await writer.commit()).committed
+        await system.sim.sleep(0.05)
+        # late transaction claims it read the genesis version of k1 even
+        # though "newer" committed below its timestamp: must abort.
+        late = TransactionSession(a)
+        late.builder.record_read("k1", GENESIS)
+        late.write("zz-unused", b"z")
+        return await late.commit()
+
+    result = run(system, main())
+    assert not result.committed
+    system.run()
+    assert system.committed_value("zz-unused") is None
+
+
+def test_write_invalidating_committed_read_aborts():
+    """T_low writing a key that a committed higher-ts txn read must abort."""
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        # a begins first => lower timestamp
+        low = TransactionSession(a)
+        low_started = low.timestamp
+        await system.sim.sleep(0.005)
+        high = TransactionSession(b)
+        assert high.timestamp > low_started
+        # high reads k1 (version GENESIS-era value v1) and commits
+        await high.read("k1")
+        high.write("k9", b"h")
+        rh = await high.commit()
+        assert rh.committed
+        await system.sim.sleep(0.005)
+        # low now writes k1: its write at ts < high.ts would be a write
+        # high's read should have seen -> abort
+        low.write("k1", b"too-late")
+        rl = await low.commit()
+        return rl
+
+    result = run(system, main())
+    assert not result.committed
+    system.run()
+    assert system.committed_value("k1") == b"v1"
+
+
+def test_rts_fence_blocks_lower_writer_while_reader_ongoing():
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        low = TransactionSession(a)
+        await system.sim.sleep(0.005)
+        high = TransactionSession(b)
+        await high.read("k1")  # leaves RTS at high.ts on k1
+        low.write("k1", b"low")
+        result_low = await low.commit()
+        return result_low
+
+    result = run(system, main())
+    assert not result.committed
+
+
+def test_abort_releases_rts():
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+
+    async def main():
+        low = TransactionSession(a)
+        await system.sim.sleep(0.005)
+        high = TransactionSession(b)
+        await high.read("k1")
+        high.abort()
+        await system.sim.sleep(0.005)  # let RTS-remove propagate
+        low.write("k1", b"low")
+        return await low.commit()
+
+    result = run(system, main())
+    assert result.committed
+
+
+# ---------------------------------------------------------------------------
+# Multi-shard transactions
+# ---------------------------------------------------------------------------
+def test_multi_shard_transaction_commits():
+    system = BasilSystem(SystemConfig(f=1, num_shards=3, batch_size=1))
+    system.load({f"key-{i}": b"0" for i in range(30)})
+    client = system.create_client()
+
+    async def body():
+        session = TransactionSession(client)
+        keys = [f"key-{i}" for i in range(12)]
+        shards = {system.sharder.shard_of(k) for k in keys}
+        assert len(shards) == 3
+        for k in keys:
+            value = await session.read(k)
+            session.write(k, value + b"1")
+        return await session.commit()
+
+    result = run(system, body())
+    assert result.committed and result.fast_path
+    system.run()
+    for i in range(12):
+        assert system.committed_value(f"key-{i}") == b"01"
+
+
+def test_cross_shard_atomicity_all_or_nothing():
+    system = BasilSystem(SystemConfig(f=1, num_shards=2, batch_size=1))
+    keys = [f"key-{i}" for i in range(20)]
+    system.load({k: b"0" for k in keys})
+    a, b = system.create_client(), system.create_client()
+    # pick one key per shard
+    shard0_key = next(k for k in keys if system.sharder.shard_of(k) == 0)
+    shard1_key = next(k for k in keys if system.sharder.shard_of(k) == 1)
+
+    async def transfer(client, tag):
+        session = TransactionSession(client)
+        v0 = await session.read(shard0_key)
+        v1 = await session.read(shard1_key)
+        session.write(shard0_key, tag)
+        session.write(shard1_key, tag)
+        return await session.commit()
+
+    async def main():
+        return await system.sim.gather([transfer(a, b"A"), transfer(b, b"B")])
+
+    run(system, main())
+    system.run()
+    # atomicity: both keys must hold the same tag (or both the other's)
+    assert system.committed_value(shard0_key) == system.committed_value(shard1_key)
+
+
+# ---------------------------------------------------------------------------
+# Slow path
+# ---------------------------------------------------------------------------
+def test_silent_replica_forces_slow_path_commit():
+    system = make_system()
+    # Make one replica completely unresponsive.
+    silent = system.replicas["s0/r5"]
+    silent.deliver = lambda sender, message: None
+
+    async def body(session):
+        await session.read("k1")
+        session.write("k1", b"slow-path")
+        return await session.commit()
+
+    result = run(system, body(TransactionSession(system.create_client())))
+    assert result.committed
+    assert not result.fast_path  # 5 of 6 votes: CQ reached, fast impossible
+    system.run()
+    assert system.committed_value("k1") == b"slow-path"
+
+
+def test_silent_replica_read_still_succeeds():
+    system = make_system()
+    system.replicas["s0/r0"].deliver = lambda sender, message: None
+
+    async def body(session):
+        return await session.read("k1")
+
+    session = TransactionSession(system.create_client())
+    value = run(system, body(session))
+    assert value == b"v1"
+
+
+# ---------------------------------------------------------------------------
+# Dependencies on prepared (uncommitted) writes
+# ---------------------------------------------------------------------------
+def test_read_prepared_version_creates_dependency_and_commits():
+    system = make_system()
+    writer, reader = system.create_client(), system.create_client()
+
+    async def main():
+        # writer prepares but delays its writeback
+        wsession = TransactionSession(writer)
+        wsession.write("k1", b"pending")
+        wtx = wsession.builder.freeze()
+        outcome = await writer.prepare(wtx, {})
+        assert outcome.committed
+        # reader (with a later timestamp) sees the prepared version
+        await system.sim.sleep(0.002)
+        rsession = TransactionSession(reader)
+        value = await rsession.read("k1")
+        assert value == b"pending"
+        assert len(rsession.builder.deps) == 1
+        rsession.write("k2", b"dependent")
+        # now the writer publishes its decision; the reader can commit
+        writer.writeback(wtx, outcome.cert)
+        result = await rsession.commit()
+        return result
+
+    result = run(system, main())
+    assert result.committed
+    system.run()
+    assert system.committed_value("k1") == b"pending"
+    assert system.committed_value("k2") == b"dependent"
+
+
+def test_stalled_writer_finished_by_reader_fallback():
+    """The paper's headline recovery: a client finishes a foreign txn."""
+    system = make_system()
+    writer, reader = system.create_client(), system.create_client()
+
+    async def main():
+        wsession = TransactionSession(writer)
+        wsession.write("k1", b"stalled")
+        wtx = wsession.builder.freeze()
+        outcome = await writer.prepare(wtx, {})
+        assert outcome.committed
+        # writer stalls: never sends writeback.
+        await system.sim.sleep(0.002)
+        rsession = TransactionSession(reader)
+        value = await rsession.read("k1")
+        assert value == b"stalled"
+        rsession.write("k2", b"recovered")
+        result = await rsession.commit()
+        return result
+
+    result = run(system, main())
+    assert result.committed
+    assert reader.recoveries_started >= 1
+    system.run()
+    # the stalled transaction was finished (committed) by the reader
+    assert system.committed_value("k1") == b"stalled"
+    assert system.committed_value("k2") == b"recovered"
+    state = system.replicas["s0/r0"].tx_states.get(
+        next(iter(reader._finishing), None) or b""
+    )
+    # all replicas converged on COMMITTED for the stalled txn
+    for replica in system.shard_replicas(0):
+        phases = [
+            s.phase for s in replica.tx_states.values() if s.tx is not None and s.tx.writes_key("k1")
+        ]
+        assert TxPhase.COMMITTED in phases
+
+
+def test_finish_is_idempotent_across_calls():
+    system = make_system()
+    writer, reader = system.create_client(), system.create_client()
+
+    async def main():
+        wsession = TransactionSession(writer)
+        wsession.write("k1", b"x")
+        wtx = wsession.builder.freeze()
+        await writer.prepare(wtx, {})
+        d1, _ = await reader.finish(wtx)
+        d2, _ = await reader.finish(wtx)
+        assert d1 == d2
+        return d1
+
+    run(system, main())

@@ -1,0 +1,145 @@
+"""Tests for Merkle reply batching and attestation verification."""
+
+import pytest
+
+from repro.config import CryptoConfig
+from repro.core.attestation import AttestationVerifier, BatchAttestation
+from repro.core.batching import ReplyBatcher
+from repro.crypto.cost_model import CryptoContext
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.sim.loop import Simulator
+from repro.sim.node import Cpu
+
+
+def make_env(batch_size, timeout=0.001, enabled=True):
+    sim = Simulator(seed=1)
+    registry = KeyRegistry(seed=1)
+    cfg = CryptoConfig(enabled=enabled)
+    signer = CryptoContext(registry, registry.issue("r0"), cfg, Cpu(sim, 8))
+    batcher = ReplyBatcher(sim, signer, batch_size, timeout)
+    client = CryptoContext(registry, registry.issue("c0"), cfg, Cpu(sim, 8))
+    verifier = AttestationVerifier(client)
+    return sim, batcher, signer, verifier
+
+
+def test_batch_size_one_uses_plain_signature():
+    sim, batcher, signer, verifier = make_env(batch_size=1)
+
+    async def main():
+        att = await batcher.attest({"m": 1})
+        assert isinstance(att, SignedMessage)
+        assert await verifier.verify(att)
+
+    sim.run_until_complete(main())
+    assert signer.signatures_generated == 1
+
+
+def test_full_batch_shares_one_signature():
+    sim, batcher, signer, verifier = make_env(batch_size=4)
+
+    async def main():
+        atts = await sim.gather([batcher.attest({"m": i}) for i in range(4)])
+        assert all(isinstance(a, BatchAttestation) for a in atts)
+        roots = {a.root for a in atts}
+        assert len(roots) == 1
+        for a in atts:
+            assert await verifier.verify(a)
+        return atts
+
+    sim.run_until_complete(main())
+    assert signer.signatures_generated == 1
+    assert batcher.batches_flushed == 1
+
+
+def test_verify_cache_hits_within_batch():
+    sim, batcher, signer, verifier = make_env(batch_size=4)
+
+    async def main():
+        atts = await sim.gather([batcher.attest({"m": i}) for i in range(4)])
+        for a in atts:
+            assert await verifier.verify(a)
+
+    sim.run_until_complete(main())
+    # one real signature verification, three cache hits
+    assert verifier.ctx.signatures_verified == 1
+    assert verifier.cache_hits == 3
+
+
+def test_partial_batch_flushes_on_timeout():
+    sim, batcher, signer, verifier = make_env(batch_size=8, timeout=0.002)
+
+    async def main():
+        return await sim.gather([batcher.attest({"m": i}) for i in range(3)])
+
+    atts = sim.run_until_complete(main())
+    assert len(atts) == 3
+    assert sim.now >= 0.002
+    assert batcher.batches_flushed == 1
+
+
+def test_tampered_payload_fails_verification():
+    sim, batcher, signer, verifier = make_env(batch_size=2)
+
+    async def main():
+        atts = await sim.gather([batcher.attest({"m": i}) for i in range(2)])
+        good = atts[0]
+        tampered = BatchAttestation(
+            payload={"m": 999},
+            root=good.root,
+            proof=good.proof,
+            root_signature=good.root_signature,
+        )
+        assert not await verifier.verify(tampered)
+        assert await verifier.verify(good)
+
+    sim.run_until_complete(main())
+
+
+def test_swapped_proof_fails_verification():
+    sim, batcher, signer, verifier = make_env(batch_size=2)
+
+    async def main():
+        a, b = await sim.gather([batcher.attest({"m": 0}), batcher.attest({"m": 1})])
+        crossed = BatchAttestation(
+            payload=a.payload, root=a.root, proof=b.proof, root_signature=a.root_signature
+        )
+        assert not await verifier.verify(crossed)
+
+    sim.run_until_complete(main())
+
+
+def test_forged_root_signature_fails():
+    sim, batcher, signer, verifier = make_env(batch_size=2)
+    evil = KeyRegistry(seed=99).issue("r0")
+
+    async def main():
+        a, _ = await sim.gather([batcher.attest({"m": 0}), batcher.attest({"m": 1})])
+        forged = BatchAttestation(
+            payload=a.payload, root=a.root, proof=a.proof,
+            root_signature=evil.sign_digest(a.root),
+        )
+        assert not await verifier.verify(forged)
+
+    sim.run_until_complete(main())
+
+
+def test_batching_reduces_signature_count():
+    counts = {}
+    for b in (1, 8):
+        sim, batcher, signer, _ = make_env(batch_size=b)
+
+        async def main():
+            await sim.gather([batcher.attest({"m": i}) for i in range(16)])
+
+        sim.run_until_complete(main())
+        counts[b] = signer.signatures_generated
+    assert counts[1] == 16
+    assert counts[8] == 2
+
+
+def test_rejects_zero_batch_size():
+    sim = Simulator()
+    registry = KeyRegistry(seed=1)
+    ctx = CryptoContext(registry, registry.issue("r"), CryptoConfig(), Cpu(sim, 1))
+    with pytest.raises(ValueError):
+        ReplyBatcher(sim, ctx, 0, 0.001)

@@ -1,0 +1,314 @@
+"""Tests for decision-certificate construction and validation."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.attestation import AttestationVerifier
+from repro.core.certificates import (
+    AbortCert,
+    CertValidator,
+    CommitCert,
+    ConflictProof,
+    GENESIS_CERT,
+    GENESIS_TXID,
+    ShardLogCert,
+    conflicts_with,
+)
+from repro.core.messages import Decision, DecisionLogResult, Vote
+from repro.core.sharding import Sharder
+from repro.core.timestamps import GENESIS, Timestamp
+from repro.core.transaction import TxBuilder
+from repro.core.votes import VoteTally
+from repro.crypto.cost_model import CryptoContext
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.sim.loop import Simulator
+from repro.sim.node import Cpu
+
+from tests.core.conftest import sign_vote
+
+
+def make_tx(stamp=10, reads=(), writes=(("k", b"v"),)):
+    b = TxBuilder(timestamp=Timestamp(stamp, 1))
+    for k, v in reads:
+        b.record_read(k, v)
+    for k, v in writes:
+        b.record_write(k, v)
+    return b.freeze()
+
+
+@pytest.fixture()
+def env():
+    config = SystemConfig(f=1, num_shards=1)
+    sim = Simulator(seed=1)
+    registry = KeyRegistry(seed=config.seed)
+    sharder = Sharder(config)
+    ctx = CryptoContext(registry, registry.issue("verifier"), config.crypto, Cpu(sim, 8))
+    validator = CertValidator(config, sharder, AttestationVerifier(ctx))
+    return sim, config, registry, sharder, validator
+
+
+def commit_tally(registry, sharder, tx, count, shard=0):
+    votes = tuple(
+        sign_vote(registry, name, tx.txid, Vote.COMMIT)
+        for name in sharder.members(shard)[:count]
+    )
+    return VoteTally(txid=tx.txid, shard=shard, decision=Decision.COMMIT, votes=votes)
+
+
+def abort_tally(registry, sharder, tx, count, shard=0, conflict=None):
+    votes = tuple(
+        sign_vote(registry, name, tx.txid, Vote.ABORT, conflict=conflict)
+        for name in sharder.members(shard)[:count]
+    )
+    return VoteTally(txid=tx.txid, shard=shard, decision=Decision.ABORT, votes=votes)
+
+
+def st2r_att(registry, name, tx, decision, view=0):
+    payload = DecisionLogResult(
+        txid=tx.txid, replica=name, decision=decision, view_decision=view, view_current=view
+    )
+    return SignedMessage(payload=payload, signature=registry.issue(name).sign(payload))
+
+
+def log_cert(registry, sharder, tx, decision, count, view=0, shard=0):
+    atts = tuple(
+        st2r_att(registry, name, tx, decision, view)
+        for name in sharder.members(shard)[:count]
+    )
+    return ShardLogCert(txid=tx.txid, shard=shard, decision=decision, view=view, st2rs=atts)
+
+
+def run(sim, coro):
+    return sim.run_until_complete(coro)
+
+
+# ---------------------------------------------------------------------------
+# conflicts_with
+# ---------------------------------------------------------------------------
+def test_conflicts_when_reader_missed_write():
+    writer = make_tx(stamp=10, writes=(("k", b"w"),))
+    reader = make_tx(stamp=20, reads=(("k", GENESIS),), writes=(("x", b"y"),))
+    assert conflicts_with(writer, reader)
+    assert conflicts_with(reader, writer)  # symmetric entry point
+
+
+def test_no_conflict_when_read_saw_the_write():
+    writer = make_tx(stamp=10, writes=(("k", b"w"),))
+    reader = make_tx(stamp=20, reads=(("k", Timestamp(10, 1)),), writes=(("x", b"y"),))
+    assert not conflicts_with(writer, reader)
+
+
+def test_no_conflict_disjoint_keys():
+    a = make_tx(stamp=10, writes=(("a", b"1"),))
+    b = make_tx(stamp=20, reads=(("b", GENESIS),), writes=(("b", b"2"),))
+    assert not conflicts_with(a, b)
+
+
+# ---------------------------------------------------------------------------
+# Fast-path C-CERT
+# ---------------------------------------------------------------------------
+def test_fast_commit_cert_valid(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = CommitCert(
+        txid=tx.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, tx, config.commit_fast_quorum),),
+    )
+    assert run(sim, validator.validate_commit(cert, tx))
+
+
+def test_fast_commit_cert_underquorum_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = CommitCert(
+        txid=tx.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, tx, config.commit_fast_quorum - 1),),
+    )
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_fast_commit_duplicate_signers_not_counted(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    name = sharder.members(0)[0]
+    votes = tuple(
+        sign_vote(registry, name, tx.txid, Vote.COMMIT)
+        for _ in range(config.commit_fast_quorum)
+    )
+    tally = VoteTally(txid=tx.txid, shard=0, decision=Decision.COMMIT, votes=votes)
+    cert = CommitCert(txid=tx.txid, kind="fast", tallies=(tally,))
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_fast_commit_forged_vote_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    foreign = KeyRegistry(seed=777)
+    votes = tuple(
+        sign_vote(foreign, name, tx.txid, Vote.COMMIT)
+        for name in sharder.members(0)
+    )
+    tally = VoteTally(txid=tx.txid, shard=0, decision=Decision.COMMIT, votes=votes)
+    cert = CommitCert(txid=tx.txid, kind="fast", tallies=(tally,))
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_fast_commit_wrong_txid_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx, other = make_tx(), make_tx(stamp=99)
+    cert = CommitCert(
+        txid=other.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, other, config.commit_fast_quorum),),
+    )
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_fast_commit_missing_shard_rejected():
+    config = SystemConfig(f=1, num_shards=3)
+    sim = Simulator(seed=1)
+    registry = KeyRegistry(seed=config.seed)
+    sharder = Sharder(config)
+    ctx = CryptoContext(registry, registry.issue("v"), config.crypto, Cpu(sim, 8))
+    validator = CertValidator(config, sharder, AttestationVerifier(ctx))
+    # transaction spanning several shards
+    b = TxBuilder(timestamp=Timestamp(10, 1))
+    for i in range(12):
+        b.record_write(f"key-{i}", b"v")
+    tx = b.freeze()
+    involved = sharder.shards_of_tx(tx)
+    assert len(involved) > 1
+    # only cover the first shard
+    tally = commit_tally(registry, sharder, tx, config.commit_fast_quorum, shard=involved[0])
+    cert = CommitCert(txid=tx.txid, kind="fast", tallies=(tally,))
+    assert not sim.run_until_complete(validator.validate_commit(cert, tx))
+
+
+# ---------------------------------------------------------------------------
+# Fast-path A-CERT
+# ---------------------------------------------------------------------------
+def test_fast_abort_3f1_valid(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = AbortCert(
+        txid=tx.txid, kind="fast",
+        tally=abort_tally(registry, sharder, tx, config.abort_fast_quorum),
+    )
+    assert run(sim, validator.validate_abort(cert, tx))
+
+
+def test_fast_abort_underquorum_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = AbortCert(
+        txid=tx.txid, kind="fast",
+        tally=abort_tally(registry, sharder, tx, config.abort_fast_quorum - 1),
+    )
+    assert not run(sim, validator.validate_abort(cert, tx))
+
+
+def test_fast_abort_via_conflict_cert(env):
+    sim, config, registry, sharder, validator = env
+    committed = make_tx(stamp=10, writes=(("k", b"w"),))
+    committed_cert = CommitCert(
+        txid=committed.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, committed, config.commit_fast_quorum),),
+    )
+    target = make_tx(stamp=20, reads=(("k", GENESIS),), writes=(("z", b"1"),))
+    proof = ConflictProof(tx=committed, cert=committed_cert)
+    cert = AbortCert(
+        txid=target.txid, kind="fast",
+        tally=abort_tally(registry, sharder, target, 1, conflict=proof),
+    )
+    assert run(sim, validator.validate_abort(cert, target))
+
+
+def test_fast_abort_nonconflicting_proof_rejected(env):
+    sim, config, registry, sharder, validator = env
+    committed = make_tx(stamp=10, writes=(("unrelated", b"w"),))
+    committed_cert = CommitCert(
+        txid=committed.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, committed, config.commit_fast_quorum),),
+    )
+    target = make_tx(stamp=20, reads=(("k", GENESIS),), writes=(("z", b"1"),))
+    proof = ConflictProof(tx=committed, cert=committed_cert)
+    cert = AbortCert(
+        txid=target.txid, kind="fast",
+        tally=abort_tally(registry, sharder, target, 1, conflict=proof),
+    )
+    assert not run(sim, validator.validate_abort(cert, target))
+
+
+# ---------------------------------------------------------------------------
+# Slow path (ShardLogCert)
+# ---------------------------------------------------------------------------
+def test_slow_commit_cert_valid(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = CommitCert(
+        txid=tx.txid, kind="slow",
+        log=log_cert(registry, sharder, tx, Decision.COMMIT, config.st2_quorum),
+    )
+    assert run(sim, validator.validate_commit(cert, tx))
+
+
+def test_slow_abort_cert_valid(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = AbortCert(
+        txid=tx.txid, kind="slow",
+        log=log_cert(registry, sharder, tx, Decision.ABORT, config.st2_quorum),
+    )
+    assert run(sim, validator.validate_abort(cert, tx))
+
+
+def test_slow_cert_underquorum_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = CommitCert(
+        txid=tx.txid, kind="slow",
+        log=log_cert(registry, sharder, tx, Decision.COMMIT, config.st2_quorum - 1),
+    )
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_slow_cert_view_mismatch_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    good = log_cert(registry, sharder, tx, Decision.COMMIT, config.st2_quorum, view=1)
+    # claim view 0 while the ST2Rs say view 1
+    bad = ShardLogCert(txid=tx.txid, shard=0, decision=Decision.COMMIT, view=0, st2rs=good.st2rs)
+    cert = CommitCert(txid=tx.txid, kind="slow", log=bad)
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+def test_slow_cert_decision_mismatch_rejected(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    log = log_cert(registry, sharder, tx, Decision.ABORT, config.st2_quorum)
+    bad = ShardLogCert(txid=tx.txid, shard=0, decision=Decision.COMMIT, view=0, st2rs=log.st2rs)
+    cert = CommitCert(txid=tx.txid, kind="slow", log=bad)
+    assert not run(sim, validator.validate_commit(cert, tx))
+
+
+# ---------------------------------------------------------------------------
+# Genesis / cache
+# ---------------------------------------------------------------------------
+def test_genesis_cert_valid_without_tx(env):
+    sim, config, registry, sharder, validator = env
+    assert run(sim, validator.validate_commit(GENESIS_CERT, None))
+    fake = CommitCert(txid=b"\x01" * 32, kind="genesis")
+    assert not run(sim, validator.validate_commit(fake, None))
+    assert fake.txid != GENESIS_TXID
+
+
+def test_validation_cached_second_time_free(env):
+    sim, config, registry, sharder, validator = env
+    tx = make_tx()
+    cert = CommitCert(
+        txid=tx.txid, kind="fast",
+        tallies=(commit_tally(registry, sharder, tx, config.commit_fast_quorum),),
+    )
+    assert run(sim, validator.validate_commit(cert, tx))
+    before = validator.verifier.ctx.signatures_verified
+    assert run(sim, validator.validate_commit(cert, tx))
+    assert validator.verifier.ctx.signatures_verified == before

@@ -1,0 +1,64 @@
+"""Tests for quorum arithmetic and configuration plumbing."""
+
+import pytest
+
+from repro.config import CryptoConfig, NetworkConfig, SystemConfig
+
+
+@pytest.mark.parametrize("f", [1, 2, 3])
+def test_quorum_sizes_match_paper(f):
+    config = SystemConfig(f=f)
+    assert config.n == 5 * f + 1
+    assert config.commit_quorum == 3 * f + 1
+    assert config.commit_fast_quorum == 5 * f + 1
+    assert config.abort_quorum == f + 1
+    assert config.abort_fast_quorum == 3 * f + 1
+    assert config.st2_quorum == config.n - config.f == 4 * f + 1
+    assert config.elect_quorum == 4 * f + 1
+    # CQ = (n + f + 1) / 2 as in the paper
+    assert config.commit_quorum == (config.n + f + 1) // 2
+
+
+def test_commit_and_abort_fast_quorums_intersect_in_correct_replica():
+    for f in (1, 2, 3):
+        config = SystemConfig(f=f)
+        # 5f+1 commits and 3f+1 aborts cannot coexist among n=5f+1 replicas
+        assert config.commit_fast_quorum + config.abort_fast_quorum > config.n
+        # two commit quorums intersect in >= f+1 replicas (>= 1 correct)
+        assert 2 * config.commit_quorum - config.n >= f + 1
+
+
+def test_default_read_quorums():
+    config = SystemConfig(f=1)
+    assert config.effective_read_quorum == 2  # f + 1
+    assert config.effective_read_fanout == 3  # 2f + 1
+
+
+def test_read_fanout_never_below_quorum():
+    config = SystemConfig(f=1, read_quorum=3, read_fanout=1)
+    assert config.effective_read_fanout >= config.effective_read_quorum
+
+
+def test_with_overrides_replaces_fields():
+    config = SystemConfig(f=1)
+    other = config.with_overrides(batch_size=32, num_shards=3)
+    assert other.batch_size == 32 and other.num_shards == 3
+    assert config.batch_size != 32  # original untouched (frozen)
+
+
+def test_crypto_hash_cost_rounds_up_blocks():
+    crypto = CryptoConfig()
+    assert crypto.hash_cost(1) == crypto.hash_cost_per_block
+    assert crypto.hash_cost(256) == crypto.hash_cost_per_block
+    assert crypto.hash_cost(257) == 2 * crypto.hash_cost_per_block
+
+
+def test_disabled_crypto_zeroes_hash_cost():
+    assert CryptoConfig(enabled=False).hash_cost(10_000) == 0.0
+
+
+def test_network_defaults_match_paper_testbed():
+    net = NetworkConfig()
+    # 0.15 ms ping -> 75 us one way
+    assert net.one_way_latency == pytest.approx(75e-6)
+    assert net.drop_rate == 0.0

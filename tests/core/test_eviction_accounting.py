@@ -1,0 +1,80 @@
+"""Tests for the replica's client-eviction accounting (Sec 4.1, 6.4)."""
+
+from repro.byzantine.clients import ByzantineClient
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.system import BasilSystem
+
+
+def make_system():
+    system = BasilSystem(SystemConfig(f=1, num_shards=1, batch_size=1))
+    system.load({f"k{i}": i for i in range(20)})
+    return system
+
+
+def test_honest_client_is_not_suspect():
+    system = make_system()
+    client = system.create_client()
+
+    async def main():
+        for i in range(60):
+            session = TransactionSession(client)
+            await session.read(f"k{i % 20}")
+            session.write(f"k{i % 20}", i)
+            await session.commit()
+            await system.sim.sleep(0.002)
+
+    system.sim.run_until_complete(main())
+    system.run()
+    replica = system.shard_replicas(0)[0]
+    assert client.client_id not in replica.suspect_clients(min_reads=20)
+
+
+def test_read_only_never_committing_client_is_suspect():
+    system = make_system()
+    lurker = system.create_client()
+
+    async def main():
+        for i in range(60):
+            session = TransactionSession(lurker)
+            await session.read(f"k{i % 20}")
+            # never commits, never aborts: read timestamps pile up
+            session._finished = True
+
+    system.sim.run_until_complete(main())
+    system.run()
+    replica = system.shard_replicas(0)[0]
+    assert lurker.client_id in replica.suspect_clients(min_reads=20)
+
+
+def test_stalling_byzantine_client_is_suspect():
+    system = make_system()
+    attacker = system.create_client(client_class=ByzantineClient, behaviour="stall-early")
+
+    async def main():
+        for i in range(60):
+            session = TransactionSession(attacker)
+            await session.read(f"k{i % 20}")
+            session.write(f"k{i % 20}", b"x")
+            await session.commit()  # ST1 then stall: never settles
+
+    system.sim.run_until_complete(main())
+    system.run()
+    replica = system.shard_replicas(0)[0]
+    assert attacker.client_id in replica.suspect_clients(min_reads=20)
+
+
+def test_threshold_respects_min_reads():
+    system = make_system()
+    casual = system.create_client()
+
+    async def main():
+        session = TransactionSession(casual)
+        await session.read("k0")
+        session._finished = True
+
+    system.sim.run_until_complete(main())
+    system.run()
+    replica = system.shard_replicas(0)[0]
+    # one abandoned read is not enough history to accuse anyone
+    assert casual.client_id not in replica.suspect_clients(min_reads=20)

@@ -1,0 +1,146 @@
+"""Multi-shard edge cases: slow path, S_log logging, cross-shard recovery."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.messages import Decision
+from repro.core.mvtso import TxPhase
+from repro.core.system import BasilSystem
+
+
+def make_system(num_shards=2, **overrides):
+    defaults = dict(f=1, num_shards=num_shards, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    system.load({f"key-{i}": i for i in range(40)})
+    return system
+
+
+def keys_on_shard(system, shard, count):
+    keys = [k for k in (f"key-{i}" for i in range(40))
+            if system.sharder.shard_of(k) == shard]
+    assert len(keys) >= count
+    return keys[:count]
+
+
+def test_cross_shard_slow_path_logs_once():
+    """A silent replica on one shard forces ST2; only S_log logs."""
+    system = make_system()
+    silent_name = None
+    # silence one replica of shard 0
+    silent_name = system.sharder.members(0)[5]
+    system.replicas[silent_name].deliver = lambda s, m: None
+    client = system.create_client()
+    (k0,) = keys_on_shard(system, 0, 1)
+    (k1,) = keys_on_shard(system, 1, 1)
+
+    async def main():
+        session = TransactionSession(client)
+        a = await session.read(k0)
+        b = await session.read(k1)
+        session.write(k0, a + b)
+        session.write(k1, a - b)
+        return await session.commit()
+
+    result = system.sim.run_until_complete(main())
+    assert result.committed
+    assert not result.fast_path
+    system.run()
+    # decision was logged only on S_log's replicas
+    logged_shards = set()
+    for name, replica in system.replicas.items():
+        for state in replica.tx_states.values():
+            if state.logged_decision is not None:
+                logged_shards.add(replica.shard)
+    assert len(logged_shards) == 1
+    # both shards applied the writes
+    assert system.committed_value(k0) is not None
+    assert system.committed_value(k1) is not None
+
+
+def test_one_shard_abort_aborts_whole_transaction():
+    system = make_system()
+    a, b = system.create_client(), system.create_client()
+    (k0,) = keys_on_shard(system, 0, 1)
+    (k1,) = keys_on_shard(system, 1, 1)
+
+    async def main():
+        # low-timestamp client starts first
+        low = TransactionSession(a)
+        await system.sim.sleep(0.005)
+        # high-timestamp client reads k0 on shard 0 (leaves a high RTS)
+        high = TransactionSession(b)
+        await high.read(k0)
+        # low now writes both shards: shard 0 must abort (RTS fence), and
+        # the whole transaction must abort with it
+        low.write(k0, -1)
+        low.write(k1, -1)
+        return await low.commit()
+
+    result = system.sim.run_until_complete(main())
+    assert not result.committed
+    system.run()
+    assert system.committed_value(k1) != -1  # atomicity: no partial commit
+    # no replica on either shard committed it
+    for replica in system.replicas.values():
+        for state in replica.tx_states.values():
+            if state.tx is not None and state.tx.writes_key(k1):
+                assert state.phase is not TxPhase.COMMITTED
+
+
+def test_cross_shard_stalled_writer_recovered():
+    system = make_system()
+    writer, reader = system.create_client(), system.create_client()
+    (k0,) = keys_on_shard(system, 0, 1)
+    (k1,) = keys_on_shard(system, 1, 1)
+
+    async def main():
+        wsession = TransactionSession(writer)
+        wsession.write(k0, 100)
+        wsession.write(k1, 200)
+        wtx = wsession.builder.freeze()
+        outcome = await writer.prepare(wtx, {})
+        assert outcome.committed
+        # writer stalls; reader touches only shard 1's key
+        await system.sim.sleep(0.002)
+        rsession = TransactionSession(reader)
+        value = await rsession.read(k1)
+        assert value == 200  # sees the prepared version
+        rsession.write(k1, 201)
+        return await rsession.commit()
+
+    result = system.sim.run_until_complete(main())
+    assert result.committed
+    system.run()
+    # the recovery finished the writer's txn on BOTH shards
+    assert system.committed_value(k0) == 100
+    assert system.committed_value(k1) == 201
+
+
+def test_three_shard_transactions_and_s_log_distribution():
+    system = make_system(num_shards=3)
+    client = system.create_client()
+    s_logs = set()
+
+    async def one(i):
+        session = TransactionSession(client)
+        touched = []
+        for shard in range(3):
+            key = keys_on_shard(system, shard, 3)[i % 3]
+            touched.append(key)
+            value = await session.read(key)
+            session.write(key, (value or 0) + 1)
+        result = await session.commit()
+        assert result.committed
+        tx = session.builder.freeze()
+        s_logs.add(system.sharder.s_log(tx))
+        await system.sim.sleep(0.005)
+
+    async def main():
+        for i in range(6):
+            await one(i)
+
+    system.sim.run_until_complete(main())
+    # S_log varies with the transaction id (load is spread)
+    assert len(s_logs) >= 2

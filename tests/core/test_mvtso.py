@@ -1,0 +1,208 @@
+"""Unit tests for MVTSO-Check (Algorithm 1) against a bare store."""
+
+import pytest
+
+from repro.core.mvtso import (
+    CheckStatus,
+    TxPhase,
+    TxState,
+    apply_commit,
+    mvtso_check,
+    undo_prepare,
+)
+from repro.core.timestamps import GENESIS, Timestamp
+from repro.core.transaction import Dep, TxBuilder
+from repro.storage.versionstore import VersionStore
+
+DELTA = 0.05
+NOW = 100.0
+
+
+def ts(seconds, client=1):
+    return Timestamp.from_clock(seconds, client)
+
+
+def make_tx(stamp, reads=(), writes=(), deps=()):
+    b = TxBuilder(timestamp=stamp)
+    for k, v in reads:
+        b.record_read(k, v)
+    for k, v in writes:
+        b.record_write(k, v)
+    for d in deps:
+        b.record_dep(d)
+    return b.freeze()
+
+
+@pytest.fixture()
+def store():
+    return VersionStore()
+
+
+@pytest.fixture()
+def states():
+    return {}
+
+
+def check(store, states, tx, now=NOW):
+    return mvtso_check(store, states, tx, local_time=now, delta=DELTA)
+
+
+def test_clean_write_prepares(store, states):
+    tx = make_tx(ts(10), writes=[("k", b"v")])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.PREPARED
+    assert store.latest_prepared("k", ts(11)) is not None
+    assert states[tx.txid].phase is TxPhase.PREPARED
+
+
+def test_timestamp_beyond_delta_rejected(store, states):
+    tx = make_tx(ts(NOW + 10 * DELTA), writes=[("k", b"v")])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.ABORT
+    assert result.reason == "timestamp-bound"
+
+
+def test_timestamp_within_delta_accepted(store, states):
+    tx = make_tx(ts(NOW + DELTA / 2), writes=[("k", b"v")])
+    assert check(store, states, tx).status is CheckStatus.PREPARED
+
+
+def test_read_from_future_is_misbehavior(store, states):
+    tx = make_tx(ts(10), reads=[("k", ts(20))])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.MISBEHAVIOR
+
+
+def test_missed_committed_write_aborts(store, states):
+    # k written at t=5; reader claims version GENESIS but has ts=10 > 5.
+    store.apply_committed_write("k", ts(5), b"x", b"w" * 32)
+    tx = make_tx(ts(10), reads=[("k", GENESIS)])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.ABORT
+    assert result.reason == "missed-write"
+
+
+def test_read_of_latest_version_ok(store, states):
+    store.apply_committed_write("k", ts(5), b"x", b"w" * 32)
+    tx = make_tx(ts(10), reads=[("k", ts(5))])
+    assert check(store, states, tx).status is CheckStatus.PREPARED
+
+
+def test_missed_prepared_write_aborts(store, states):
+    writer = make_tx(ts(7), writes=[("k", b"p")])
+    assert check(store, states, writer).status is CheckStatus.PREPARED
+    reader = make_tx(ts(10), reads=[("k", GENESIS)])
+    result = check(store, states, reader)
+    assert result.status is CheckStatus.ABORT
+
+
+def test_write_invalidating_prepared_read_aborts(store, states):
+    # reader at ts=10 read version GENESIS of k and prepared
+    reader = make_tx(ts(10), reads=[("k", GENESIS)], writes=[("other", b"o")])
+    assert check(store, states, reader).status is CheckStatus.PREPARED
+    # writer at ts=5 < 10 would have been missed by that reader
+    writer = make_tx(ts(5), writes=[("k", b"w")])
+    result = check(store, states, writer)
+    assert result.status is CheckStatus.ABORT
+    assert result.reason == "invalidates-read"
+
+
+def test_write_above_reader_timestamp_ok(store, states):
+    reader = make_tx(ts(10), reads=[("k", GENESIS)], writes=[("other", b"o")])
+    check(store, states, reader)
+    writer = make_tx(ts(15), writes=[("k", b"w")])
+    assert check(store, states, writer).status is CheckStatus.PREPARED
+
+
+def test_rts_fence_aborts_lower_writer(store, states):
+    store.update_rts("k", ts(20))
+    writer = make_tx(ts(10), writes=[("k", b"w")])
+    result = check(store, states, writer)
+    assert result.status is CheckStatus.ABORT
+    assert result.reason == "rts-fence"
+
+
+def test_rts_below_writer_ok(store, states):
+    store.update_rts("k", ts(5))
+    writer = make_tx(ts(10), writes=[("k", b"w")])
+    assert check(store, states, writer).status is CheckStatus.PREPARED
+
+
+def test_unknown_dep_aborts(store, states):
+    dep = Dep(txid=b"\x09" * 32, key="k", version=ts(5))
+    tx = make_tx(ts(10), reads=[("k", ts(5))], deps=[dep])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.ABORT
+    assert result.reason == "invalid-dep"
+
+
+def test_dep_with_wrong_version_claim_aborts(store, states):
+    writer = make_tx(ts(5), writes=[("k", b"p")])
+    check(store, states, writer)
+    bad_dep = Dep(txid=writer.txid, key="k", version=ts(6))  # wrong version
+    tx = make_tx(ts(10), reads=[("k", ts(6))], deps=[bad_dep])
+    assert check(store, states, tx).reason == "invalid-dep"
+
+
+def test_valid_pending_dep_reported(store, states):
+    writer = make_tx(ts(5), writes=[("k", b"p")])
+    check(store, states, writer)
+    dep = Dep(txid=writer.txid, key="k", version=ts(5))
+    tx = make_tx(ts(10), reads=[("k", ts(5))], deps=[dep])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.PREPARED
+    assert result.pending_deps == (writer.txid,)
+
+
+def test_dep_on_aborted_tx_aborts(store, states):
+    writer = make_tx(ts(5), writes=[("k", b"p")])
+    check(store, states, writer)
+    undo_prepare(store, writer)
+    states[writer.txid].phase = TxPhase.ABORTED
+    dep = Dep(txid=writer.txid, key="k", version=ts(5))
+    tx = make_tx(ts(10), reads=[("k", ts(5))], deps=[dep])
+    assert check(store, states, tx).reason == "dep-aborted"
+
+
+def test_committed_dep_not_pending(store, states):
+    writer = make_tx(ts(5), writes=[("k", b"p")])
+    check(store, states, writer)
+    apply_commit(store, writer)
+    states[writer.txid].phase = TxPhase.COMMITTED
+    dep = Dep(txid=writer.txid, key="k", version=ts(5))
+    tx = make_tx(ts(10), reads=[("k", ts(5))], deps=[dep])
+    result = check(store, states, tx)
+    assert result.status is CheckStatus.PREPARED
+    assert result.pending_deps == ()
+
+
+def test_undo_prepare_restores_store(store, states):
+    tx = make_tx(ts(10), reads=[("r", GENESIS)], writes=[("k", b"v")])
+    check(store, states, tx)
+    undo_prepare(store, tx)
+    assert store.latest_prepared("k", ts(11)) is None
+    assert store.reads_spanning("r", ts(5)) == []
+
+
+def test_apply_commit_promotes(store, states):
+    tx = make_tx(ts(10), writes=[("k", b"v")])
+    check(store, states, tx)
+    apply_commit(store, tx)
+    assert store.latest_prepared("k", ts(11)) is None
+    assert store.latest_committed("k", ts(11)).value == b"v"
+
+
+def test_serializable_interleaving_accepted(store, states):
+    """Two non-conflicting transactions both prepare."""
+    t1 = make_tx(ts(10), reads=[("a", GENESIS)], writes=[("a", b"1")])
+    t2 = make_tx(ts(11), reads=[("b", GENESIS)], writes=[("b", b"2")])
+    assert check(store, states, t1).status is CheckStatus.PREPARED
+    assert check(store, states, t2).status is CheckStatus.PREPARED
+
+
+def test_write_write_same_key_allowed_multiversion(store, states):
+    """Blind write-write conflicts are fine under MVTSO."""
+    t1 = make_tx(ts(10), writes=[("a", b"1")])
+    t2 = make_tx(ts(11), writes=[("a", b"2")])
+    assert check(store, states, t1).status is CheckStatus.PREPARED
+    assert check(store, states, t2).status is CheckStatus.PREPARED

@@ -1,0 +1,79 @@
+"""Property tests on vote tallying: classification is quorum-sound."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SystemConfig
+from repro.core.messages import Decision, Vote
+from repro.core.votes import ShardOutcome, ShardVoteCollector
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.core.messages import PrepareVote
+
+TXID = b"\x11" * 32
+CONFIG = SystemConfig(f=1)
+REGISTRY = KeyRegistry(seed=5)
+
+
+def att(replica, vote):
+    payload = PrepareVote(txid=TXID, replica=replica, vote=vote)
+    return SignedMessage(payload=payload, signature=REGISTRY.issue(replica).sign(payload))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.lists(st.sampled_from([Vote.COMMIT, Vote.ABORT]), min_size=0, max_size=6),
+    st.booleans(),
+)
+def test_classification_respects_quorums(votes, complete):
+    collector = ShardVoteCollector(txid=TXID, shard=0, config=CONFIG)
+    members = [f"s0/r{i}" for i in range(CONFIG.n)]
+    for name, vote in zip(members, votes):
+        collector.add(att(name, vote))
+    commits = sum(1 for v in votes if v is Vote.COMMIT)
+    aborts = len(votes) - commits
+
+    result = collector.classify(complete=complete)
+    if result is None:
+        # undecidable states must genuinely lack a settled quorum
+        assert commits < CONFIG.commit_fast_quorum
+        assert aborts < CONFIG.abort_fast_quorum
+        return
+    outcome, tally = result
+    if outcome is ShardOutcome.COMMIT_FAST:
+        assert commits >= CONFIG.commit_fast_quorum
+    elif outcome is ShardOutcome.COMMIT_SLOW:
+        assert commits >= CONFIG.commit_quorum
+    elif outcome is ShardOutcome.ABORT_FAST:
+        assert aborts >= CONFIG.abort_fast_quorum
+    else:  # ABORT_SLOW
+        assert aborts >= CONFIG.abort_quorum
+    # the tally's evidence matches the decision and is distinct-signed
+    expected = Vote.COMMIT if tally.decision is Decision.COMMIT else Vote.ABORT
+    voters = tally.voters()
+    assert len(voters) == len(tally.votes)
+    assert all(v.payload.vote is expected for v in tally.votes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from([Vote.COMMIT, Vote.ABORT]), min_size=6, max_size=6))
+def test_full_reply_set_always_classifies(votes):
+    """With all n replies in hand and complete=True, a shard always
+    resolves: either a commit quorum (3f+1) or an abort quorum (f+1)
+    must exist when n = 5f+1 replies arrived."""
+    collector = ShardVoteCollector(txid=TXID, shard=0, config=CONFIG)
+    for i, vote in enumerate(votes):
+        collector.add(att(f"s0/r{i}", vote))
+    assert collector.classify(complete=True) is not None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.sampled_from([Vote.COMMIT, Vote.ABORT]), min_size=0, max_size=6),
+)
+def test_commit_and_abort_fast_never_coexist(votes):
+    """5f+1 commits and 3f+1 aborts cannot both hold (6 replicas)."""
+    commits = sum(1 for v in votes if v is Vote.COMMIT)
+    aborts = len(votes) - commits
+    assert not (
+        commits >= CONFIG.commit_fast_quorum and aborts >= CONFIG.abort_fast_quorum
+    )

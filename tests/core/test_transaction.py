@@ -1,0 +1,80 @@
+"""Tests for transaction records and the builder."""
+
+import pytest
+
+from repro.core.timestamps import Timestamp
+from repro.core.transaction import Dep, TxBuilder, TxRecord
+
+
+def ts(t, c=1):
+    return Timestamp(t, c)
+
+
+def build_tx(stamp=None, reads=(), writes=(), deps=()):
+    b = TxBuilder(timestamp=stamp or ts(100))
+    for k, v in reads:
+        b.record_read(k, v)
+    for k, v in writes:
+        b.record_write(k, v)
+    for d in deps:
+        b.record_dep(d)
+    return b.freeze()
+
+
+def test_txid_is_content_hash():
+    a = build_tx(reads=[("x", ts(1))], writes=[("y", b"v")])
+    b = build_tx(reads=[("x", ts(1))], writes=[("y", b"v")])
+    assert a.txid == b.txid
+
+
+def test_txid_changes_with_any_field():
+    base = build_tx(reads=[("x", ts(1))], writes=[("y", b"v")])
+    assert base.txid != build_tx(reads=[("x", ts(2))], writes=[("y", b"v")]).txid
+    assert base.txid != build_tx(reads=[("x", ts(1))], writes=[("y", b"w")]).txid
+    assert base.txid != build_tx(stamp=ts(101), reads=[("x", ts(1))], writes=[("y", b"v")]).txid
+
+
+def test_freeze_is_order_insensitive():
+    b1 = TxBuilder(timestamp=ts(5))
+    b1.record_write("a", 1)
+    b1.record_write("b", 2)
+    b2 = TxBuilder(timestamp=ts(5))
+    b2.record_write("b", 2)
+    b2.record_write("a", 1)
+    assert b1.freeze().txid == b2.freeze().txid
+
+
+def test_builder_last_write_wins():
+    b = TxBuilder(timestamp=ts(5))
+    b.record_write("a", 1)
+    b.record_write("a", 2)
+    tx = b.freeze()
+    assert tx.written_value("a") == 2
+    assert len(tx.write_set) == 1
+
+
+def test_written_value_missing_key_raises():
+    tx = build_tx(writes=[("a", 1)])
+    with pytest.raises(KeyError):
+        tx.written_value("b")
+
+
+def test_keys_and_membership():
+    tx = build_tx(reads=[("r", ts(1))], writes=[("w", 9)])
+    assert tx.keys == {"r", "w"}
+    assert tx.writes_key("w") and not tx.writes_key("r")
+    assert tx.read_version("r") == ts(1)
+    assert tx.read_version("w") is None
+
+
+def test_deps_recorded_and_deduped():
+    d = Dep(txid=b"\x01" * 32, key="k", version=ts(9))
+    tx = build_tx(reads=[("k", ts(9))], deps=[d, d])
+    assert tx.deps == (d,)
+    assert tx.dep_ids() == {d.txid}
+
+
+def test_size_estimate_grows_with_contents():
+    small = build_tx(writes=[("a", b"x")])
+    big = build_tx(writes=[(f"k{i}", b"x" * 100) for i in range(10)])
+    assert big.size_estimate() > small.size_estimate()

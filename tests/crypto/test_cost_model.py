@@ -1,0 +1,101 @@
+"""Tests that crypto operations charge the modeled CPU time."""
+
+import pytest
+
+from repro.config import CryptoConfig
+from repro.crypto.cost_model import CryptoContext
+from repro.crypto.signatures import KeyRegistry
+from repro.sim.loop import Simulator
+from repro.sim.node import Cpu
+
+
+def make_ctx(sim, enabled=True, cores=1):
+    registry = KeyRegistry(seed=1)
+    key = registry.issue("r0")
+    cfg = CryptoConfig(enabled=enabled)
+    return CryptoContext(registry, key, cfg, Cpu(sim, cores)), cfg
+
+
+def test_sign_charges_cpu_time():
+    sim = Simulator()
+    ctx, cfg = make_ctx(sim)
+
+    async def main():
+        await ctx.sign("payload")
+        return sim.now
+
+    assert sim.run_until_complete(main()) == pytest.approx(cfg.sign_cost)
+    assert ctx.signatures_generated == 1
+
+
+def test_verify_charges_cpu_time():
+    sim = Simulator()
+    ctx, cfg = make_ctx(sim)
+
+    async def main():
+        signed = await ctx.sign("payload")
+        ok = await ctx.verify(signed)
+        return ok, sim.now
+
+    ok, now = sim.run_until_complete(main())
+    assert ok
+    assert now == pytest.approx(cfg.sign_cost + cfg.verify_cost)
+
+
+def test_disabled_crypto_costs_nothing_but_still_checks():
+    sim = Simulator()
+    ctx, _ = make_ctx(sim, enabled=False)
+
+    async def main():
+        signed = await ctx.sign("payload")
+        assert await ctx.verify(signed)
+        return sim.now
+
+    assert sim.run_until_complete(main()) == 0.0
+
+
+def test_verify_detects_forgery_with_cost():
+    sim = Simulator()
+    ctx, _ = make_ctx(sim)
+    other_registry = KeyRegistry(seed=99)
+    forged_key = other_registry.issue("r0")
+
+    async def main():
+        from repro.crypto.signatures import SignedMessage
+
+        return await ctx.verify(SignedMessage(payload="m", signature=forged_key.sign("m")))
+
+    assert sim.run_until_complete(main()) is False
+    assert ctx.signatures_verified == 1
+
+
+def test_concurrent_signing_queues_on_cores():
+    sim = Simulator()
+    ctx, cfg = make_ctx(sim, cores=2)
+
+    async def one():
+        await ctx.sign("m")
+
+    async def main():
+        await sim.gather([one() for _ in range(4)])
+        return sim.now
+
+    # 4 signatures on 2 cores -> 2 serial rounds
+    assert sim.run_until_complete(main()) == pytest.approx(2 * cfg.sign_cost)
+
+
+def test_hash_charging_scales_with_size():
+    sim = Simulator()
+    ctx, cfg = make_ctx(sim)
+
+    async def main():
+        await ctx.charge_hash(1024)
+        return sim.now
+
+    assert sim.run_until_complete(main()) == pytest.approx(cfg.hash_cost(1024))
+    assert cfg.hash_cost(1024) == pytest.approx(4 * cfg.hash_cost_per_block)
+
+
+def test_hash_cost_zero_when_disabled():
+    cfg = CryptoConfig(enabled=False)
+    assert cfg.hash_cost(10_000) == 0.0

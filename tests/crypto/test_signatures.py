@@ -1,0 +1,88 @@
+"""Tests for structural signatures and the key registry."""
+
+import pytest
+
+from repro.crypto.digest import digest_of
+from repro.crypto.signatures import KeyRegistry, Signature, SignedMessage
+from repro.errors import CryptoError, ForgeryError
+
+
+@pytest.fixture()
+def registry():
+    return KeyRegistry(seed=1)
+
+
+def test_sign_verify_roundtrip(registry):
+    key = registry.issue("r0")
+    signed = SignedMessage(payload={"v": 1}, signature=key.sign({"v": 1}))
+    registry.verify(signed)  # should not raise
+    assert registry.is_valid(signed)
+
+
+def test_forged_token_rejected(registry):
+    registry.issue("r0")
+    forged = Signature(signer="r0", digest=digest_of("x"), token=12345)
+    with pytest.raises(ForgeryError):
+        registry.verify(SignedMessage(payload="x", signature=forged))
+
+
+def test_signature_bound_to_payload(registry):
+    key = registry.issue("r0")
+    sig = key.sign("original")
+    tampered = SignedMessage(payload="tampered", signature=sig)
+    with pytest.raises(CryptoError):
+        registry.verify(tampered)
+    assert not registry.is_valid(tampered)
+
+
+def test_cross_signer_forgery_rejected(registry):
+    registry.issue("honest")
+    byz_key = registry.issue("byz")
+    # Byzantine node signs with its own key but claims to be 'honest'.
+    sig = byz_key.sign("m")
+    claimed = Signature(signer="honest", digest=sig.digest, token=sig.token)
+    with pytest.raises(ForgeryError):
+        registry.verify(SignedMessage(payload="m", signature=claimed))
+
+
+def test_unknown_signer_rejected(registry):
+    key = KeyRegistry(seed=9).issue("ghost")
+    with pytest.raises(CryptoError):
+        registry.verify(SignedMessage(payload="m", signature=key.sign("m")))
+
+
+def test_equivocation_is_possible(registry):
+    """Byzantine nodes may sign two conflicting payloads with their key."""
+    key = registry.issue("byz")
+    a = SignedMessage(payload="commit", signature=key.sign("commit"))
+    b = SignedMessage(payload="abort", signature=key.sign("abort"))
+    assert registry.is_valid(a) and registry.is_valid(b)
+
+
+def test_reissue_same_key(registry):
+    k1 = registry.issue("r0")
+    k2 = registry.issue("r0")
+    signed = SignedMessage(payload="m", signature=k2.sign("m"))
+    registry.verify(signed)
+    assert k1.sign("m") == k2.sign("m")
+
+
+def test_registry_deterministic_across_runs():
+    a = KeyRegistry(seed=7).issue("r0").sign("m")
+    b = KeyRegistry(seed=7).issue("r0").sign("m")
+    assert a == b
+
+
+def test_registry_seeds_differ():
+    a = KeyRegistry(seed=1).issue("r0").sign("m")
+    b = KeyRegistry(seed=2).issue("r0").sign("m")
+    assert a != b
+
+
+def test_signature_digest_excludes_secret_token(registry):
+    key = registry.issue("r0")
+    sig = key.sign("m")
+    # canonical encoding of a Signature must not leak the token
+    from repro.crypto.digest import canonical_encode
+
+    assert str(sig.token).encode() not in canonical_encode(sig)

@@ -1,0 +1,112 @@
+"""Tests for semaphore / queue / signal primitives."""
+
+import pytest
+
+from repro.sim.events import Queue, Semaphore, Signal
+from repro.sim.loop import Simulator
+
+
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, 2)
+    active = 0
+    peak = 0
+
+    async def job():
+        nonlocal active, peak
+        await sem.acquire()
+        active += 1
+        peak = max(peak, active)
+        await sim.sleep(1.0)
+        active -= 1
+        sem.release()
+
+    async def main():
+        await sim.gather([job() for _ in range(6)])
+
+    sim.run_until_complete(main())
+    assert peak == 2
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_semaphore_fifo_order():
+    sim = Simulator()
+    sem = Semaphore(sim, 1)
+    order = []
+
+    async def job(tag, start_delay):
+        await sim.sleep(start_delay)
+        await sem.acquire()
+        order.append(tag)
+        await sim.sleep(1.0)
+        sem.release()
+
+    async def main():
+        await sim.gather([job("a", 0.0), job("b", 0.1), job("c", 0.2)])
+
+    sim.run_until_complete(main())
+    assert order == ["a", "b", "c"]
+
+
+def test_semaphore_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        Semaphore(Simulator(), 0)
+
+
+def test_queue_put_then_get():
+    sim = Simulator()
+    q = Queue(sim)
+    q.put(1)
+    q.put(2)
+
+    async def main():
+        return [await q.get(), await q.get()]
+
+    assert sim.run_until_complete(main()) == [1, 2]
+
+
+def test_queue_get_blocks_until_put():
+    sim = Simulator()
+    q = Queue(sim)
+
+    async def main():
+        return await q.get()
+
+    sim.call_later(0.5, q.put, "late")
+    assert sim.run_until_complete(main()) == "late"
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_signal_wakes_all_waiters_with_value():
+    sim = Simulator()
+    signal = Signal()
+    results = []
+
+    async def waiter():
+        results.append(await signal.wait())
+
+    async def main():
+        await sim.gather([waiter(), waiter(), waiter()])
+
+    sim.call_later(0.2, signal.fire, "go")
+    sim.run_until_complete(main())
+    assert results == ["go", "go", "go"]
+
+
+def test_signal_fires_once_first_value_wins():
+    signal = Signal()
+    signal.fire("first")
+    signal.fire("second")
+    assert signal.value == "first"
+
+
+def test_signal_wait_after_fire_is_immediate():
+    sim = Simulator()
+    signal = Signal()
+    signal.fire(42)
+
+    async def main():
+        return await signal.wait()
+
+    assert sim.run_until_complete(main()) == 42
+    assert sim.now == 0.0

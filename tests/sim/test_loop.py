@@ -1,0 +1,230 @@
+"""Unit tests for the discrete-event simulator kernel."""
+
+import pytest
+
+from repro.errors import SimTimeoutError, SimulationError
+from repro.sim.loop import CancelledError, Future, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_later_ordering():
+    sim = Simulator()
+    order = []
+    sim.call_later(0.3, order.append, "c")
+    sim.call_later(0.1, order.append, "a")
+    sim.call_later(0.2, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for tag in ("x", "y", "z"):
+        sim.call_later(1.0, order.append, tag)
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_cannot_schedule_into_past():
+    sim = Simulator()
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(0.5, lambda: None)
+
+
+def test_cancel_scheduled_event():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(1.0, fired.append, 1)
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    fired = []
+    sim.call_later(2.0, fired.append, 1)
+    sim.run(until=1.0)
+    assert fired == []
+    sim.run(until=3.0)
+    assert fired == [1]
+
+
+def test_sleep_resumes_at_right_time():
+    sim = Simulator()
+
+    async def main():
+        await sim.sleep(0.25)
+        return sim.now
+
+    assert sim.run_until_complete(main()) == pytest.approx(0.25)
+
+
+def test_nested_coroutines_and_return_values():
+    sim = Simulator()
+
+    async def inner(x):
+        await sim.sleep(0.1)
+        return x * 2
+
+    async def outer():
+        a = await inner(3)
+        b = await inner(4)
+        return a + b
+
+    assert sim.run_until_complete(outer()) == 14
+    assert sim.now == pytest.approx(0.2)
+
+
+def test_task_exception_propagates():
+    sim = Simulator()
+
+    async def boom():
+        await sim.sleep(0.1)
+        raise ValueError("bang")
+
+    with pytest.raises(ValueError, match="bang"):
+        sim.run_until_complete(boom())
+
+
+def test_future_single_assignment():
+    fut = Future()
+    fut.set_result(1)
+    with pytest.raises(SimulationError):
+        fut.set_result(2)
+
+
+def test_future_result_before_done_raises():
+    fut = Future()
+    with pytest.raises(SimulationError):
+        fut.result()
+
+
+def test_future_callback_after_done_runs_immediately():
+    fut = Future()
+    fut.set_result(7)
+    seen = []
+    fut.add_done_callback(lambda f: seen.append(f.result()))
+    assert seen == [7]
+
+
+def test_gather_preserves_order():
+    sim = Simulator()
+
+    async def delayed(value, delay):
+        await sim.sleep(delay)
+        return value
+
+    async def main():
+        return await sim.gather([delayed("slow", 0.5), delayed("fast", 0.1)])
+
+    assert sim.run_until_complete(main()) == ["slow", "fast"]
+
+
+def test_gather_empty():
+    sim = Simulator()
+
+    async def main():
+        return await sim.gather([])
+
+    assert sim.run_until_complete(main()) == []
+
+
+def test_wait_for_times_out():
+    sim = Simulator()
+
+    async def main():
+        await sim.wait_for(Future(), timeout=0.5)
+
+    with pytest.raises(SimTimeoutError):
+        sim.run_until_complete(main())
+    assert sim.now == pytest.approx(0.5)
+
+
+def test_wait_for_success_cancels_timer():
+    sim = Simulator()
+    fut = Future()
+    sim.call_later(0.1, fut.set_result, "ok")
+
+    async def main():
+        return await sim.wait_for(fut, timeout=10.0)
+
+    assert sim.run_until_complete(main()) == "ok"
+    sim.run()
+    assert sim.now == pytest.approx(0.1)
+
+
+def test_task_cancel():
+    sim = Simulator()
+    progress = []
+
+    async def worker():
+        progress.append("start")
+        await sim.sleep(10.0)
+        progress.append("end")
+
+    task = sim.create_task(worker())
+    sim.call_later(1.0, task.cancel)
+    sim.run()
+    assert progress == ["start"]
+    assert task.cancelled()
+    assert isinstance(task.exception(), CancelledError)
+
+
+def test_deadlock_detection():
+    sim = Simulator()
+
+    async def stuck():
+        await Future()
+
+    with pytest.raises(SimulationError, match="deadlock"):
+        sim.run_until_complete(stuck())
+
+
+def test_rng_streams_deterministic_and_independent():
+    a = Simulator(seed=42)
+    b = Simulator(seed=42)
+    assert [a.rng("x").random() for _ in range(5)] == [b.rng("x").random() for _ in range(5)]
+    c = Simulator(seed=42)
+    assert c.rng("x").random() != c.rng("y").random()
+
+
+def test_rng_different_seeds_differ():
+    a = Simulator(seed=1)
+    b = Simulator(seed=2)
+    assert a.rng("x").random() != b.rng("x").random()
+
+
+def test_awaiting_non_future_rejected():
+    sim = Simulator()
+
+    async def bad():
+        await iter([1])  # type: ignore[arg-type]
+
+    with pytest.raises((SimulationError, TypeError)):
+        sim.run_until_complete(bad())
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def reschedule():
+        sim.call_later(0.001, reschedule)
+
+    sim.call_later(0.0, reschedule)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=100)

@@ -1,0 +1,76 @@
+"""Tests for measurement utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.monitor import Histogram, MeasurementWindow, Monitor
+
+
+def test_counter_accumulates():
+    mon = Monitor()
+    mon.counter("x").add()
+    mon.counter("x").add(4)
+    assert mon.counter("x").value == 5
+
+
+def test_histogram_mean_and_percentiles():
+    h = Histogram("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.record(v)
+    assert h.mean() == pytest.approx(2.5)
+    assert h.percentile(50) == 2.0
+    assert h.percentile(100) == 4.0
+    assert h.max() == 4.0
+
+
+def test_histogram_empty_safe():
+    h = Histogram("lat")
+    assert h.mean() == 0.0
+    assert h.percentile(99) == 0.0
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1))
+def test_histogram_percentile_bounds(samples):
+    h = Histogram("x")
+    for s in samples:
+        h.record(s)
+    assert min(samples) <= h.percentile(0) <= max(samples)
+    assert h.percentile(100) == max(samples)
+    lo, hi = h.percentile(25), h.percentile(75)
+    assert lo <= hi
+
+
+def test_window_filters_warmup_and_cooldown():
+    mon = Monitor(window=MeasurementWindow(start=10.0, end=20.0))
+    mon.record_commit(now=5.0, latency=0.1, fast_path=True)  # warm-up: ignored
+    mon.record_commit(now=15.0, latency=0.2, fast_path=True)
+    mon.record_commit(now=25.0, latency=0.3, fast_path=False)  # cool-down: ignored
+    assert mon.counter("commits").value == 1
+    assert mon.throughput() == pytest.approx(0.1)
+
+
+def test_commit_and_fast_path_rates():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    for _ in range(3):
+        mon.record_commit(now=1.0, latency=0.01, fast_path=True)
+    mon.record_commit(now=1.0, latency=0.01, fast_path=False)
+    mon.record_abort(now=1.0)
+    assert mon.commit_rate() == pytest.approx(4 / 5)
+    assert mon.fast_path_rate() == pytest.approx(3 / 4)
+
+
+def test_rates_safe_when_empty():
+    mon = Monitor()
+    assert mon.commit_rate() == 0.0
+    assert mon.fast_path_rate() == 0.0
+    assert mon.throughput() == 0.0
+    assert mon.mean_latency() == 0.0
+
+
+def test_tagged_commits_and_aborts():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    mon.record_commit(now=1.0, latency=0.01, fast_path=True, tag="payment")
+    mon.record_abort(now=1.0, tag="payment")
+    assert mon.counter("commits/payment").value == 1
+    assert mon.counter("aborts/payment").value == 1

@@ -1,0 +1,48 @@
+"""Helpers for workload tests: an in-memory session fake."""
+
+import random
+
+import pytest
+
+
+class FakeSession:
+    """Dict-backed session implementing the workload-facing API."""
+
+    def __init__(self, data):
+        self.data = data
+        self.writes = {}
+        self.reads = []
+
+    async def read(self, key):
+        self.reads.append(key)
+        if key in self.writes:
+            return self.writes[key]
+        return self.data.get(key)
+
+    def write(self, key, value):
+        self.writes[key] = value
+
+    def apply(self):
+        """Commit the buffered writes into the backing dict.
+
+        ``writes`` is left intact so tests can inspect what the
+        transaction wrote.
+        """
+        self.data.update(self.writes)
+
+
+def drive(body, data):
+    """Run one transaction body to completion against dict state."""
+    session = FakeSession(data)
+    coro = body(session)
+    try:
+        coro.send(None)
+    except StopIteration as stop:
+        session.apply()
+        return session, stop.value
+    raise AssertionError("workload bodies must not await in FakeSession runs")
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(42)
