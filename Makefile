@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench examples figures clean
+.PHONY: install test bench quick-bench trace-smoke examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,10 @@ bench:
 
 quick-bench:
 	REPRO_QUICK=1 pytest benchmarks/ --benchmark-only -q -s
+
+trace-smoke:
+	pytest tests -m trace_smoke -q
+	python examples/trace_a_transaction.py
 
 examples:
 	python examples/quickstart.py

@@ -190,6 +190,8 @@ class TapirClient(Node):
         votes: dict[int, dict[str, TapirVote]] = {shard: {} for shard in involved}
         outcome: dict[int, TapirVote] = {}
         fast = True
+        tracer = self.sim.tracer
+        st1_begin = self.sim.now
         try:
             for shard in involved:
                 self.network.broadcast(self, self.sharder.members(shard), TPrepare(req_id, tx))
@@ -216,6 +218,11 @@ class TapirClient(Node):
                     outcome[shard] = decided
         finally:
             self._pending.pop(req_id, None)
+            if tracer.enabled:
+                tracer.complete(
+                    self.name, "txn", "st1", st1_begin, self.sim.now,
+                    txid=tx.txid.hex(), shards=len(involved),
+                )
 
         commit = all(v is TapirVote.OK for v in outcome.values())
         retryable = not commit and any(
@@ -227,10 +234,23 @@ class TapirClient(Node):
             if len(votes[shard]) < self.sharder.n:
                 fast = False
         if not fast:
+            st2_begin = self.sim.now
             await self._confirm_round(tx, involved)
+            if tracer.enabled:
+                tracer.complete(
+                    self.name, "txn", "st2", st2_begin, self.sim.now,
+                    txid=tx.txid.hex(), proposed="CONFIRM",
+                )
+        wb_begin = self.sim.now
         decision = TDecision(tx=tx, commit=commit)
         for shard in involved:
             self.network.broadcast(self, self.sharder.members(shard), decision)
+        if tracer.enabled:
+            tracer.complete(
+                self.name, "txn", "writeback", wb_begin, self.sim.now,
+                txid=tx.txid.hex(),
+                decision="COMMIT" if commit else "ABORT", fast_path=fast,
+            )
         return TapirResult(
             committed=commit, fast_path=fast, timestamp=tx.timestamp, retryable=retryable
         )
@@ -283,6 +303,7 @@ class TapirSession:
         self.client = client
         self.builder = client.begin()
         self._cache: dict[Any, Any] = {}
+        self._began_at = client.sim.now
 
     @property
     def timestamp(self) -> Timestamp:
@@ -303,7 +324,16 @@ class TapirSession:
     async def commit(self) -> TapirResult:
         if not self.builder.reads and not self.builder.writes:
             return TapirResult(committed=True, fast_path=True, timestamp=self.builder.timestamp)
-        return await self.client.commit(self.builder.freeze())
+        tx = self.builder.freeze()
+        tracer = self.client.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self.client.name, "txn", "execute",
+                self._began_at, self.client.sim.now,
+                txid=tx.txid.hex(),
+                reads=len(self.builder.reads), writes=len(self.builder.writes),
+            )
+        return await self.client.commit(tx)
 
     def abort(self) -> None:
         pass  # nothing to release: reads leave only advisory RTS

@@ -9,9 +9,17 @@ Usage::
     python -m repro.bench fig6a
     python -m repro.bench fig6b
     python -m repro.bench fig7 --dist zipfian
-    python -m repro.bench all --quick
+    python -m repro.bench --quick all
+    python -m repro.bench --quick --trace fig4 --app smallbank
+
+``--quick`` and ``--trace`` are global flags and go *before* the
+figure subcommand (``--app``/``--dist`` belong to their subcommands).
 
 ``--quick`` shrinks populations/durations for a fast smoke run.
+``--trace [DIR]`` records every benchmark with the deterministic tracer
+(:mod:`repro.trace`), prints a per-phase latency breakdown under each
+table row, and writes Chrome ``trace_event`` JSON files (default
+``traces/``) viewable in ``chrome://tracing`` or Perfetto.
 """
 
 from __future__ import annotations
@@ -78,6 +86,12 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the Basil paper's evaluation figures.",
     )
     parser.add_argument("--quick", action="store_true", help="scaled-down smoke run")
+    parser.add_argument(
+        "--trace", nargs="?", const="traces", default=None, metavar="DIR",
+        help="record a deterministic trace per benchmark; write Chrome "
+        "trace_event JSON into DIR (default: traces/) and print the "
+        "per-phase latency breakdown",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p4 = sub.add_parser("fig4", help="application throughput/latency (4 systems)")
@@ -95,7 +109,17 @@ def main(argv: list[str] | None = None) -> int:
     pall.add_argument("--dist", default="zipfian", help=argparse.SUPPRESS)
     pall.set_defaults(func=cmd_all)
 
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # A bare ``--trace`` right before the subcommand would swallow the
+    # subcommand name as its DIR operand; disambiguate in its favor.
+    # (A directory actually named like a subcommand: use ``--trace=X``.)
+    commands = {"fig4", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7", "all"}
+    if "--trace" in argv:
+        where = argv.index("--trace")
+        if where + 1 < len(argv) and argv[where + 1] in commands:
+            argv.insert(where + 1, "traces")
     args = parser.parse_args(argv)
+    exp.set_trace_dir(args.trace)
     args.func(args)
     return 0
 

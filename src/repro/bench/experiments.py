@@ -47,13 +47,46 @@ class Scale:
 
 DEFAULT_SCALE = Scale()
 
+#: When set (see :func:`set_trace_dir`), every ``_run`` attaches a fresh
+#: tracer, prints the per-phase latency breakdown after the paper-style
+#: row, and writes a Chrome trace_event JSON per benchmark into the dir.
+_TRACE_DIR: str | None = None
+
+
+def set_trace_dir(path: str | None) -> None:
+    """Enable (or disable with ``None``) tracing for every benchmark run."""
+    global _TRACE_DIR
+    if path is not None:
+        import os
+
+        os.makedirs(path, exist_ok=True)
+    _TRACE_DIR = path
+
 
 def _run(system, workload, clients, scale: Scale, name: str, **kwargs) -> BenchResult:
+    tracer = None
+    if _TRACE_DIR is not None:
+        from repro.trace import Tracer
+
+        tracer = Tracer()
     runner = ExperimentRunner(
         system, workload, num_clients=clients,
-        duration=scale.duration, warmup=scale.warmup, name=name, **kwargs,
+        duration=scale.duration, warmup=scale.warmup, name=name,
+        tracer=tracer, **kwargs,
     )
-    return runner.run()
+    result = runner.run()
+    if tracer is not None:
+        import os
+
+        from repro.bench.report import render_trace_summary
+        from repro.trace.export import write_chrome_trace
+
+        path = os.path.join(_TRACE_DIR, name.replace("/", "-") + ".trace.json")
+        result.extra["trace_digest"] = write_chrome_trace(tracer, path)
+        result.extra["trace_path"] = path
+        print(render_trace_summary(tracer, f"{name} phase breakdown"))
+        print(f"  trace: {path} (digest {result.extra['trace_digest'][:12]})")
+    return result
 
 
 # ---------------------------------------------------------------------------

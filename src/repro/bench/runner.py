@@ -29,13 +29,16 @@ class BenchResult:
     commits: int
     aborts: int
     duration: float
+    #: Messages the network dropped over the whole run (loss + adversary).
+    dropped: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> str:
         return (
             f"{self.name:<28} {self.throughput:>10.1f} tx/s  "
             f"lat {self.mean_latency * 1000:7.2f} ms  p99 {self.p99_latency * 1000:7.2f} ms  "
-            f"commit {self.commit_rate * 100:5.1f}%  fast {self.fast_path_rate * 100:5.1f}%"
+            f"commit {self.commit_rate * 100:5.1f}%  fast {self.fast_path_rate * 100:5.1f}%  "
+            f"drop {self.dropped}"
         )
 
 
@@ -61,6 +64,7 @@ class ExperimentRunner:
         client_factories: list[Callable[[], Any]] | None = None,
         tag_transactions: bool = False,
         verify_history: bool = False,
+        tracer: Any = None,
     ) -> None:
         self.system = system
         self.workload = workload
@@ -76,6 +80,9 @@ class ExperimentRunner:
         #: Run the Byz-serializability oracle over the final state
         #: (Basil systems only; see repro.verify.history).
         self.verify_history = verify_history
+        #: Optional repro.trace.Tracer; attached to the system's simulator
+        #: at run() so the whole benchmark is recorded.
+        self.tracer = tracer
         self.monitor = Monitor(
             window=MeasurementWindow(start=warmup, end=warmup + duration)
         )
@@ -83,6 +90,8 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
     def run(self) -> BenchResult:
         sim = self.system.sim
+        if self.tracer is not None:
+            sim.attach_tracer(self.tracer)
         self.system.load(self.workload.load_data())
         end_time = self.warmup + self.duration + self.warmup  # + cool-down
         tasks = []
@@ -167,5 +176,6 @@ class ExperimentRunner:
             commits=monitor.counter("commits").value,
             aborts=monitor.counter("aborts").value,
             duration=self.duration,
+            dropped=getattr(getattr(self.system, "network", None), "messages_dropped", 0),
             extra=extra,
         )

@@ -52,6 +52,8 @@ class TransactionSession:
         self._value_cache: dict[Any, Any] = {}
         self.dep_records: dict[Digest, TxRecord] = {}
         self._finished = False
+        #: Start of the execute phase (trace span closes at commit()).
+        self._began_at = client.sim.now
 
     @property
     def timestamp(self) -> Timestamp:
@@ -86,6 +88,14 @@ class TransactionSession:
                 committed=True, fast_path=True, timestamp=self.builder.timestamp
             )
         tx = self.builder.freeze()
+        tracer = self.client.sim.tracer
+        if tracer.enabled:
+            tracer.complete(
+                self.client.name, "txn", "execute",
+                self._began_at, self.client.sim.now,
+                txid=tx.txid.hex(),
+                reads=len(self.builder.reads), writes=len(self.builder.writes),
+            )
         outcome = await self.client.commit(tx, self.dep_records)
         return TransactionResult(
             committed=outcome.decision is Decision.COMMIT,

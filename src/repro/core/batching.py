@@ -65,6 +65,14 @@ class ReplyBatcher:
         self.sim.create_task(self._sign_batch(batch), name="batch-sign")
 
     async def _sign_batch(self, batch: list[tuple[Any, Future]]) -> None:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            with tracer.span(self.ctx.cpu.owner, "replica", "batch", size=len(batch)):
+                await self._sign_batch_inner(batch)
+        else:
+            await self._sign_batch_inner(batch)
+
+    async def _sign_batch_inner(self, batch: list[tuple[Any, Future]]) -> None:
         if len(batch) == 1:
             payload, fut = batch[0]
             signed = await self.ctx.sign(payload)

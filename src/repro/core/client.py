@@ -316,7 +316,17 @@ class BasilClient(Node):
     async def commit(self, tx: TxRecord, dep_records: dict[Digest, TxRecord] | None = None) -> PrepareOutcome:
         """Run the full Prepare/Writeback pipeline for ``tx``."""
         outcome = await self.prepare(tx, dep_records or {})
+        tracer = self.sim.tracer
+        wb_begin = self.sim.now
         self.writeback(tx, outcome.cert)
+        if tracer.enabled:
+            # The client-perceived writeback phase: fire-and-forget, so
+            # its span closes the execute/st1/st2 tiling at zero width.
+            tracer.complete(
+                self.name, "txn", "writeback", wb_begin, self.sim.now,
+                txid=tx.txid.hex(), decision=outcome.decision.name,
+                fast_path=outcome.fast_path,
+            )
         if outcome.decision is Decision.ABORT and outcome.conflicts:
             # Sec 5: a client aborted because of a (possibly stalled)
             # transaction tries to finish it, so its own retry can pass.
@@ -343,6 +353,8 @@ class BasilClient(Node):
         req_id = self._next_req()
         queue = self._register(req_id)
         request = PrepareRequest(req_id=req_id, tx=tx, client=self.name)
+        tracer = self.sim.tracer
+        st1_begin = self.sim.now
         try:
             await self.crypto.charge_request_sign()
             for shard in involved:
@@ -352,6 +364,11 @@ class BasilClient(Node):
             )
         finally:
             self._unregister(req_id)
+            if tracer.enabled:
+                tracer.complete(
+                    self.name, "txn", "st1", st1_begin, self.sim.now,
+                    txid=tx.txid.hex(), shards=len(involved),
+                )
         outcome = await self._decide(tx, outcomes, tallies)
         outcome.conflicts = conflicts
         return outcome
@@ -496,6 +513,8 @@ class BasilClient(Node):
             view=view,
             client=self.name,
         )
+        tracer = self.sim.tracer
+        st2_begin = self.sim.now
         try:
             await self.crypto.charge_request_sign()
             self.network.broadcast(self, members, request)
@@ -531,6 +550,11 @@ class BasilClient(Node):
                     return payload.decision, cert
         finally:
             self._unregister(req_id)
+            if tracer.enabled:
+                tracer.complete(
+                    self.name, "txn", "st2", st2_begin, self.sim.now,
+                    txid=tx.txid.hex(), proposed=decision.name,
+                )
 
     async def _validated_st2r(
         self, sender: str, message: Any, tx: TxRecord, members: tuple[str, ...], req_id: int
@@ -598,6 +622,8 @@ class BasilClient(Node):
             return await existing
         from repro.core.fallback import RecoveryCoordinator
 
+        tracer = self.sim.tracer
+        fb_begin = self.sim.now
         task = self.sim.create_task(
             RecoveryCoordinator(self, tx).run(), name=f"{self.name}/finish"
         )
@@ -606,6 +632,11 @@ class BasilClient(Node):
             return await task
         finally:
             self._finishing.pop(tx.txid, None)
+            if tracer.enabled:
+                tracer.complete(
+                    self.name, "txn", "fallback", fb_begin, self.sim.now,
+                    txid=tx.txid.hex(),
+                )
 
     def watch_finish(self, txid: Digest, queue: Queue) -> None:
         self._finish_watch.setdefault(txid, []).append(queue)

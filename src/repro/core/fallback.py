@@ -97,6 +97,12 @@ class RecoveryCoordinator:
 
     async def run(self) -> tuple[Decision, DecisionCert | None]:
         self.client.recoveries_started += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.client.name, "fallback", "recovery_start",
+                txid=self.tx.txid.hex(), shards=len(self.involved),
+            )
         req_id = self.client._next_req()
         queue = self.client._register(req_id)
         self.client.watch_finish(self.tx.txid, queue)
@@ -270,6 +276,12 @@ class RecoveryCoordinator:
             self.network.broadcast(self.client, self.log_members, request)
 
         for round_num in range(self.config.f + 3):
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.instant(
+                    self.client.name, "fallback", "invoke_fb",
+                    txid=self.tx.txid.hex(), round=round_num,
+                )
             evidence = tuple(state.st2r.values())
             invoke = InvokeFBRequest(
                 req_id=req_id,

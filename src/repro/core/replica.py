@@ -253,9 +253,17 @@ class BasilReplica(Node):
         await self._reply_prepare(sender, req, state)
 
     def run_check(self, tx) -> CheckResult:
-        return mvtso_check(
+        result = mvtso_check(
             self.store, self.tx_states, tx, self.local_time, self.config.delta
         )
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.instant(
+                self.name, "replica", "mvtso_check",
+                txid=tx.txid.hex(), status=result.status.name,
+                pending_deps=len(result.pending_deps),
+            )
+        return result
 
     async def _await_dependencies(self, state: TxState, pending: tuple[Digest, ...]) -> None:
         """Algorithm 1 lines 15-19: wait, then vote by dependency outcomes."""

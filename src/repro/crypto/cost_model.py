@@ -58,7 +58,7 @@ class CryptoContext:
     async def charge_sign(self) -> None:
         self.signatures_generated += 1
         if self.config.enabled:
-            await self.cpu.spend(self.config.sign_cost)
+            await self._traced_spend("sign", self.config.sign_cost)
 
     # -- verification -------------------------------------------------------
     async def verify(self, signed: SignedMessage) -> bool:
@@ -77,7 +77,7 @@ class CryptoContext:
     async def charge_verify(self) -> None:
         self.signatures_verified += 1
         if self.config.enabled:
-            await self.cpu.spend(self.config.verify_cost)
+            await self._traced_spend("verify", self.config.verify_cost)
 
     # -- request authentication ----------------------------------------------
     async def charge_request_sign(self) -> None:
@@ -100,4 +100,13 @@ class CryptoContext:
     async def charge_hash(self, nbytes: int, count: int = 1) -> None:
         self.hashes_computed += count
         if self.config.enabled:
-            await self.cpu.spend(self.config.hash_cost(nbytes) * count)
+            await self._traced_spend("hash", self.config.hash_cost(nbytes) * count)
+
+    async def _traced_spend(self, op: str, cost: float) -> None:
+        """Charge ``cost`` to the CPU, wrapped in a crypto span if tracing."""
+        tracer = self.cpu.sim.tracer
+        if tracer.enabled:
+            with tracer.span(self.cpu.owner, "crypto", op, cost=cost):
+                await self.cpu.spend(cost)
+        else:
+            await self.cpu.spend(cost)

@@ -18,6 +18,7 @@ import random
 from typing import Any, Awaitable, Callable, Coroutine, Generator, Iterable
 
 from repro.errors import SimTimeoutError, SimulationError
+from repro.trace.tracer import NULL_TRACER
 
 _PENDING = object()
 
@@ -176,6 +177,15 @@ class Simulator:
         self._seq = 0
         self._events_processed = 0
         self._rngs: dict[str, random.Random] = {}
+        #: Observability hook; NULL_TRACER records nothing and costs one
+        #: attribute read per instrumented site (see repro.trace).
+        self.tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer: Any) -> Any:
+        """Install a :class:`repro.trace.Tracer`; returns it for chaining."""
+        tracer.sim = self
+        self.tracer = tracer
+        return tracer
 
     # ------------------------------------------------------------------
     # Randomness

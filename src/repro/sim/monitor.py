@@ -51,9 +51,18 @@ class Histogram:
         return sum(self._samples) / len(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        """Nearest-rank percentile; ``p`` in [0, 100].
+
+        Edge cases are explicit: an empty histogram reports 0.0 (there
+        is no latency to report), a single sample is every percentile,
+        and an out-of-range ``p`` is a caller bug, not a clamp.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p!r}")
         if not self._samples:
             return 0.0
+        if len(self._samples) == 1:
+            return self._samples[0]
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
@@ -62,6 +71,17 @@ class Histogram:
 
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """The stats every report wants: count, mean, p50/p95/p99, max."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
 
 
 @dataclass

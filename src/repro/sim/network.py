@@ -76,13 +76,29 @@ class Network:
         if dst not in self._nodes:
             raise SimulationError(f"unknown destination {dst!r}")
         src.messages_sent += 1
+        tracer = self.sim.tracer
         if self.config.drop_rate and self._rng.random() < self.config.drop_rate:
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.instant(
+                    src.name, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="drop_rate",
+                )
             return
         delay = self.adversary.intercept(src.name, dst, message, self.sample_latency())
         if delay is None:
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.instant(
+                    src.name, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="adversary",
+                )
             return
+        if tracer.enabled:
+            tracer.instant(
+                src.name, "net", "send",
+                dst=dst, msg=type(message).__name__, delay=delay,
+            )
         self.sim.call_later(delay, self._deliver, src.name, dst, message)
 
     def broadcast(self, src: Node, dsts: Iterable[str], message: Any) -> None:
@@ -91,9 +107,17 @@ class Network:
             self.send(src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
+        tracer = self.sim.tracer
         node = self._nodes.get(dst)
         if node is None:  # node was torn down mid-flight
             self.messages_dropped += 1
+            if tracer.enabled:
+                tracer.instant(
+                    src, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="unregistered",
+                )
             return
         self.messages_delivered += 1
+        if tracer.enabled:
+            tracer.instant(dst, "net", "deliver", src=src, msg=type(message).__name__)
         node.deliver(src, message)

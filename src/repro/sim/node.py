@@ -17,11 +17,15 @@ from repro.sim.loop import Simulator, Task
 
 
 class Cpu:
-    """A k-core processor; work items queue FIFO across all cores."""
+    """A k-core processor; work items queue FIFO across all cores.
 
-    def __init__(self, sim: Simulator, cores: int) -> None:
-        self._sim = sim
+    ``owner`` labels this CPU's trace events with the owning node's name.
+    """
+
+    def __init__(self, sim: Simulator, cores: int, owner: str = "") -> None:
+        self.sim = sim
         self.cores = cores
+        self.owner = owner
         self._sem = Semaphore(sim, cores)
         self.busy_time = 0.0
 
@@ -29,6 +33,8 @@ class Cpu:
         """Occupy one core for ``cost`` simulated seconds (queueing FIFO)."""
         if cost <= 0.0:
             return
+        tracer = self.sim.tracer
+        enqueued = self.sim.now if tracer.enabled else 0.0
         # Uncontended fast path: grab a free core without allocating the
         # semaphore's wait future (this is the hottest call in the sim).
         sem = self._sem
@@ -38,9 +44,15 @@ class Cpu:
             await sem.acquire()
         try:
             self.busy_time += cost
-            await self._sim.sleep(cost)
+            await self.sim.sleep(cost)
         finally:
             sem.release()
+        if tracer.enabled:
+            end = self.sim.now
+            tracer.complete(
+                self.owner, "cpu", "work", enqueued, end,
+                cost=cost, queued=end - cost - enqueued,
+            )
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of aggregate core-time spent busy over ``elapsed``."""
@@ -62,7 +74,7 @@ class Node:
         self.sim = sim
         self.name = name
         self.node_config = config or NodeConfig()
-        self.cpu = Cpu(sim, self.node_config.cores)
+        self.cpu = Cpu(sim, self.node_config.cores, owner=name)
         #: Clock offset relative to true simulated time (models NTP skew).
         self.clock_offset = 0.0
         self.messages_received = 0

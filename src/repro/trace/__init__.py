@@ -1,0 +1,27 @@
+"""Deterministic tracing & protocol observability.
+
+The simulator reproduces the paper's *endpoints* (throughput, latency);
+this subpackage opens the box in between:
+
+* :mod:`repro.trace.tracer` — a zero-overhead-when-disabled flight
+  recorder attached to the simulator, recording structured events and
+  transaction-lifecycle spans.
+* :mod:`repro.trace.export` — Chrome ``trace_event`` JSON export
+  (viewable in ``chrome://tracing`` / Perfetto) and the canonical trace
+  digest used as a determinism/regression oracle.
+* :mod:`repro.trace.analysis` — per-phase latency breakdowns, per-node
+  CPU utilization timelines, and network timelines computed from a
+  recorded trace.
+
+Because the DES is deterministic, traces are bit-identical across runs
+for a given config + seed: a protocol change that alters the message
+schedule changes the trace digest.
+
+This ``__init__`` deliberately re-exports only the stdlib-only tracer
+core; the sim kernel imports it, so it must not pull in analysis/export
+(which depend on :mod:`repro.sim.monitor`).
+"""
+
+from repro.trace.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = ["NULL_TRACER", "NullTracer", "TraceEvent", "Tracer"]

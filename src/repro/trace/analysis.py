@@ -1,0 +1,168 @@
+"""Turning raw traces into the questions the paper answers qualitatively.
+
+Three views over a recorded :class:`~repro.trace.tracer.Tracer`:
+
+* :func:`phase_histograms` / :func:`render_phase_breakdown` — where does
+  a transaction's latency go?  p50/p95/p99 per lifecycle phase
+  (``execute``/``st1``/``st2``/``writeback``/``fallback``), per system.
+* :func:`transaction_phases` — the phase timeline of one transaction;
+  the client-side phases tile, so their durations sum to the
+  transaction's end-to-end latency (asserted in tests).
+* :func:`cpu_utilization` / :func:`network_timeline` — which replica's
+  CPU queue saturates first, and when messages flow/drop.
+"""
+
+from __future__ import annotations
+
+from repro.sim.monitor import Histogram
+from repro.trace.tracer import TraceEvent, Tracer
+
+#: Client-side transaction lifecycle phases, in protocol order.  The
+#: first four tile the end-to-end latency of a transaction attempt;
+#: ``fallback`` overlaps ``st1`` (finishing a blocking dependency).
+TXN_PHASES = ("execute", "st1", "st2", "writeback", "fallback")
+
+
+# ---------------------------------------------------------------------------
+# Per-phase latency breakdown
+# ---------------------------------------------------------------------------
+def phase_histograms(tracer: Tracer) -> dict[str, Histogram]:
+    """One duration histogram per observed ``txn``-category phase."""
+    hists: dict[str, Histogram] = {}
+    for event in tracer:
+        if event.category != "txn" or event.dur is None:
+            continue
+        hist = hists.get(event.name)
+        if hist is None:
+            hist = hists[event.name] = Histogram(event.name)
+        hist.record(event.dur)
+    return hists
+
+
+def render_phase_breakdown(tracer: Tracer, title: str = "phase breakdown") -> str:
+    """A per-phase latency table (milliseconds), in protocol order."""
+    hists = phase_histograms(tracer)
+    lines = [f"--- {title} ---"]
+    if not hists:
+        lines.append("  (no txn spans recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'phase':<10} {'count':>7} {'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9}   (ms)"
+    )
+    ordered = [p for p in TXN_PHASES if p in hists]
+    ordered += sorted(set(hists) - set(TXN_PHASES))
+    for phase in ordered:
+        s = hists[phase].summary()
+        lines.append(
+            f"  {phase:<10} {s['count']:>7} {s['mean'] * 1e3:>9.3f} "
+            f"{s['p50'] * 1e3:>9.3f} {s['p95'] * 1e3:>9.3f} {s['p99'] * 1e3:>9.3f}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# One transaction's timeline
+# ---------------------------------------------------------------------------
+def transaction_phases(tracer: Tracer, txid: str) -> list[TraceEvent]:
+    """All ``txn`` spans of one transaction (txid as hex), by begin time."""
+    events = [
+        e
+        for e in tracer
+        if e.category == "txn" and e.dur is not None and e.fields.get("txid") == txid
+    ]
+    events.sort(key=lambda e: e.ts)
+    return events
+
+
+def phase_durations(tracer: Tracer, txid: str) -> dict[str, float]:
+    """Phase -> total duration (seconds) for one transaction."""
+    durations: dict[str, float] = {}
+    for event in transaction_phases(tracer, txid):
+        durations[event.name] = durations.get(event.name, 0.0) + event.dur
+    return durations
+
+
+# ---------------------------------------------------------------------------
+# Utilization timelines
+# ---------------------------------------------------------------------------
+def cpu_utilization(
+    tracer: Tracer, bucket: float = 0.01, nodes: list[str] | None = None
+) -> dict[str, list[tuple[float, float]]]:
+    """Per-node busy-core timeline from ``cpu.work`` spans.
+
+    Returns node -> [(bucket_start, busy_cores)], where ``busy_cores``
+    is the average number of cores occupied during that bucket (a span's
+    queueing wait is excluded — only its ``cost`` is busy time).
+    """
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    busy: dict[str, dict[int, float]] = {}
+    horizon = 0.0
+    for event in tracer:
+        if event.category != "cpu" or event.dur is None:
+            continue
+        if nodes is not None and event.node not in nodes:
+            continue
+        cost = float(event.fields.get("cost", event.dur))
+        end = event.ts + event.dur
+        start = end - cost  # the busy interval occupies the span's tail
+        horizon = max(horizon, end)
+        per_node = busy.setdefault(event.node, {})
+        index = int(start / bucket)
+        while cost > 1e-15 and index * bucket < end:
+            slice_end = min(end, (index + 1) * bucket)
+            slice_start = max(start, index * bucket)
+            chunk = min(cost, max(0.0, slice_end - slice_start))
+            per_node[index] = per_node.get(index, 0.0) + chunk
+            cost -= chunk
+            index += 1
+    timelines: dict[str, list[tuple[float, float]]] = {}
+    buckets = int(horizon / bucket) + 1 if busy else 0
+    for node, chunks in sorted(busy.items()):
+        timelines[node] = [
+            (i * bucket, chunks.get(i, 0.0) / bucket) for i in range(buckets)
+        ]
+    return timelines
+
+
+def network_timeline(
+    tracer: Tracer, bucket: float = 0.01
+) -> list[tuple[float, int, int, int]]:
+    """[(bucket_start, sends, delivers, drops)] from ``net`` events."""
+    if bucket <= 0:
+        raise ValueError("bucket must be positive")
+    counts: dict[int, list[int]] = {}
+    for event in tracer:
+        if event.category != "net":
+            continue
+        row = counts.setdefault(int(event.ts / bucket), [0, 0, 0])
+        if event.name == "send":
+            row[0] += 1
+        elif event.name == "deliver":
+            row[1] += 1
+        elif event.name == "drop":
+            row[2] += 1
+    if not counts:
+        return []
+    last = max(counts)
+    return [
+        (i * bucket, *counts.get(i, [0, 0, 0])) for i in range(last + 1)
+    ]
+
+
+def render_utilization(
+    tracer: Tracer, bucket: float = 0.01, top: int = 8
+) -> str:
+    """Compact per-node CPU timeline (busiest nodes first)."""
+    timelines = cpu_utilization(tracer, bucket=bucket)
+    lines = [f"--- cpu utilization (busy cores, bucket={bucket * 1e3:.0f}ms) ---"]
+    totals = {
+        node: sum(u for _, u in series) for node, series in timelines.items()
+    }
+    for node in sorted(totals, key=lambda n: -totals[n])[:top]:
+        series = timelines[node]
+        cells = " ".join(f"{u:4.1f}" for _, u in series[:16])
+        lines.append(f"  {node:<14} {cells}")
+    if not timelines:
+        lines.append("  (no cpu spans recorded)")
+    return "\n".join(lines)

@@ -41,6 +41,42 @@ def test_histogram_percentile_bounds(samples):
     assert lo <= hi
 
 
+def test_histogram_single_sample():
+    h = Histogram("lat")
+    h.record(3.5)
+    for p in (0, 50, 99, 100):
+        assert h.percentile(p) == 3.5
+    assert h.mean() == 3.5
+    assert h.max() == 3.5
+
+
+def test_histogram_percentile_rejects_out_of_range():
+    h = Histogram("lat")
+    h.record(1.0)
+    with pytest.raises(ValueError):
+        h.percentile(-0.1)
+    with pytest.raises(ValueError):
+        h.percentile(100.1)
+
+
+def test_histogram_summary_dict():
+    h = Histogram("lat")
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        h.record(v)
+    s = h.summary()
+    assert s["count"] == 4
+    assert s["mean"] == pytest.approx(2.5)
+    assert s["p50"] == h.percentile(50)
+    assert s["p95"] == h.percentile(95)
+    assert s["p99"] == h.percentile(99)
+    assert s["max"] == 4.0
+
+
+def test_histogram_summary_empty():
+    s = Histogram("lat").summary()
+    assert s == {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
 def test_window_filters_warmup_and_cooldown():
     mon = Monitor(window=MeasurementWindow(start=10.0, end=20.0))
     mon.record_commit(now=5.0, latency=0.1, fast_path=True)  # warm-up: ignored
