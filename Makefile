@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -17,6 +17,13 @@ quick-bench:
 trace-smoke:
 	pytest tests -m trace_smoke -q
 	python examples/trace_a_transaction.py
+
+fault-smoke:
+	pytest tests -m fault_smoke -q
+	python examples/partition_during_prepare.py
+
+fault-sweep:
+	python -m repro.faults sweep --seeds 25
 
 examples:
 	python examples/quickstart.py

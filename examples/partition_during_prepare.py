@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Partition two replicas away during a transaction's Prepare phase.
+
+Basil runs with n = 5f+1 replicas; the fast path needs every one of them
+to vote, but the slow path only needs a 3f+1 commit quorum.  This
+example attaches a :mod:`repro.faults` injector whose partition isolates
+two of the six replicas exactly while a transaction prepares:
+
+* during the partition the transaction still **commits**, but on the
+  slow path (only 4 of 6 ST1 votes arrive);
+* after the partition heals, the same workload commits on the fast path
+  again.
+
+Everything is seed-deterministic — rerunning prints the same numbers.
+
+Run:  python examples/partition_during_prepare.py
+"""
+
+from repro import BasilSystem, SystemConfig
+from repro.core.api import TransactionSession
+from repro.faults import FaultInjector, FaultSchedule, PartitionFault
+
+PARTITION_END = 0.01  # seconds of simulated time
+
+
+def main() -> None:
+    system = BasilSystem(SystemConfig(f=1, num_shards=1))
+
+    # Isolate r4 and r5 from everyone else from t=0 until PARTITION_END.
+    # That leaves 4 = 3f+1 connected replicas: exactly a commit quorum.
+    schedule = FaultSchedule(
+        name="partition-during-prepare",
+        faults=(
+            PartitionFault(
+                groups=(("s0/r4", "s0/r5"), ("*",)),
+                start=0.0,
+                end=PARTITION_END,
+            ),
+        ),
+    )
+    injector = FaultInjector(schedule).attach(system)
+    system.load({"balance": 100})
+
+    async def pay(session: TransactionSession) -> int:
+        balance = await session.read("balance")
+        session.write("balance", balance - 5)
+        return balance
+
+    # -- transaction 1: prepares while the partition is active ----------
+    # Its ST1 messages to r4/r5 are dropped, so the client waits out the
+    # reply timeout and then commits with the 4 votes it has — well past
+    # PARTITION_END, so the (later) writeback reaches all six replicas.
+    result = system.run_transaction(pay)
+    print(f"during partition:  committed={result.committed} "
+          f"fast_path={result.fast_path}   (t={system.sim.now * 1e3:.2f} ms)")
+    assert result.committed, "a 3f+1 quorum must still commit"
+    assert not result.fast_path, "fast path needs all 5f+1 replicas"
+
+    # -- healed: the same workload is back on the fast path -------------
+    system.run()  # drain the writeback so r4/r5 have caught up
+    result = system.run_transaction(pay)
+    print(f"after heal:        committed={result.committed} "
+          f"fast_path={result.fast_path}   (t={system.sim.now * 1e3:.2f} ms)")
+    assert result.committed and result.fast_path
+
+    system.run()  # drain asynchronous writebacks
+    print(f"final balance:     {system.committed_value('balance')}")
+    print(f"injector stats:    partition_drops={injector.stats['partition_drops']}"
+          f"  (total fault actions: {injector.faults_applied()})")
+
+
+if __name__ == "__main__":
+    main()

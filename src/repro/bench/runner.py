@@ -65,6 +65,9 @@ class ExperimentRunner:
         tag_transactions: bool = False,
         verify_history: bool = False,
         tracer: Any = None,
+        injector: Any = None,
+        drain: float = 0.2,
+        cancel_at_end: bool = True,
     ) -> None:
         self.system = system
         self.workload = workload
@@ -83,6 +86,16 @@ class ExperimentRunner:
         #: Optional repro.trace.Tracer; attached to the system's simulator
         #: at run() so the whole benchmark is recorded.
         self.tracer = tracer
+        #: Optional repro.faults.FaultInjector; armed against the system
+        #: at run() so its schedule unfolds during the benchmark.
+        self.injector = injector
+        #: Fault-free time simulated after the run before verify_history
+        #: (drains in-flight writebacks and recoveries).
+        self.drain = drain
+        #: False lets clients finish their in-flight transaction during a
+        #: later drain instead of being cancelled mid-2PC (which strands
+        #: prepared-but-undecided state the way a crashed client would).
+        self.cancel_at_end = cancel_at_end
         self.monitor = Monitor(
             window=MeasurementWindow(start=warmup, end=warmup + duration)
         )
@@ -92,6 +105,8 @@ class ExperimentRunner:
         sim = self.system.sim
         if self.tracer is not None:
             sim.attach_tracer(self.tracer)
+        if self.injector is not None:
+            self.injector.attach(self.system)
         self.system.load(self.workload.load_data())
         end_time = self.warmup + self.duration + self.warmup  # + cool-down
         tasks = []
@@ -113,12 +128,13 @@ class ExperimentRunner:
                 )
             )
         sim.run(until=end_time)
-        for task in tasks:
-            task.cancel()
+        if self.cancel_at_end:
+            for task in tasks:
+                task.cancel()
         if self.verify_history:
             from repro.verify.history import HistoryChecker
 
-            sim.run(until=end_time + 0.2)  # drain in-flight writebacks
+            sim.run(until=end_time + self.drain)  # drain in-flight writebacks
             HistoryChecker(self.system).assert_ok()
         return self._result()
 

@@ -12,8 +12,9 @@ only their own keys, so anything they fabricate still fails signature
 validation at correct participants — exactly the paper's threat model.
 """
 
-from repro.byzantine.clients import ByzantineClient, byzantine_client_factory
+from repro.byzantine.clients import BEHAVIOURS, ByzantineClient, byzantine_client_factory
 from repro.byzantine.replicas import (
+    REPLICA_BEHAVIOURS,
     EquivocatingVoteReplica,
     FabricatingReadReplica,
     PrepareAbstainingReplica,
@@ -22,6 +23,8 @@ from repro.byzantine.replicas import (
 )
 
 __all__ = [
+    "BEHAVIOURS",
+    "REPLICA_BEHAVIOURS",
     "ByzantineClient",
     "EquivocatingVoteReplica",
     "FabricatingReadReplica",

@@ -116,3 +116,15 @@ class EquivocatingVoteReplica(BasilReplica):
         from repro.core.messages import PrepareReply
 
         self.network.send(self, sender, PrepareReply(req_id=req.req_id, attestation=att))
+
+
+#: Declarative registry: behaviour name -> replica class.  Fault specs
+#: (repro.faults) name replica misbehaviour with these keys so schedules
+#: stay plain JSON-serializable data.
+REPLICA_BEHAVIOURS: dict[str, type[BasilReplica]] = {
+    "silent": SilentReplica,
+    "prepare-abstain": PrepareAbstainingReplica,
+    "stale-read": StaleReadReplica,
+    "fabricate-read": FabricatingReadReplica,
+    "equivocate-vote": EquivocatingVoteReplica,
+}

@@ -65,6 +65,31 @@ class CryptoConfig:
 
 
 @dataclass(frozen=True)
+class LivenessConfig:
+    """Bounds a fault-injection run must meet after faults stop.
+
+    Safety (zero :class:`repro.verify.history.HistoryChecker` violations)
+    is unconditional; these bounds state the *liveness* a scenario
+    promises — e.g. "the fallback eventually commits or aborts every
+    stalled transaction" becomes ``max_undecided = 0`` after ``drain``
+    seconds of fault-free time.  Scenarios with permanent faults or
+    adversarial clients relax them explicitly.
+    """
+
+    #: Fault-free simulated seconds to run after the measured window so
+    #: retries, recoveries, and writebacks can settle.
+    drain: float = 0.5
+    #: The run must have committed at least this many transactions.
+    min_commits: int = 1
+    #: Max transactions still prepared-but-undecided somewhere after the
+    #: drain (None disables the check).
+    max_undecided: int | None = 0
+    #: Max client transactions that died with a ProtocolError (recovery
+    #: starvation); 0 for every scenario whose faults heal.
+    max_protocol_errors: int = 0
+
+
+@dataclass(frozen=True)
 class NodeConfig:
     """Compute shape of one server: paper uses 8-core 2.0 GHz machines."""
 

@@ -9,7 +9,7 @@ plain signature per payload and no Merkle overhead.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.attestation import Attestation, BatchAttestation
 from repro.crypto.cost_model import CryptoContext
@@ -28,6 +28,7 @@ class ReplyBatcher:
         ctx: CryptoContext,
         batch_size: int,
         batch_timeout: float,
+        spawn: Callable[..., Any] | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
@@ -35,14 +36,22 @@ class ReplyBatcher:
         self.ctx = ctx
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
+        #: How to start the batch-signing coroutine.  Replicas pass their
+        #: ``Node.spawn`` so the signing task is owned by the node and
+        #: dies with it on a crash; the default runs unowned.
+        self._spawn = spawn or (lambda coro, name="": sim.create_task(coro, name=name))
         self._pending: list[tuple[Any, Future]] = []
         self._timer = None
+        self._closed = False
         self.batches_flushed = 0
         self.payloads_attested = 0
 
     def attest(self, payload: Any) -> Future:
         """Enqueue ``payload``; resolves with its :class:`Attestation`."""
         fut = Future()
+        if self._closed:
+            fut.cancel()
+            return fut
         self._pending.append((payload, fut))
         self.payloads_attested += 1
         if len(self._pending) >= self.batch_size:
@@ -50,6 +59,22 @@ class ReplyBatcher:
         elif self._timer is None:
             self._timer = self.sim.call_later(self.batch_timeout, self._on_timeout)
         return fut
+
+    def close(self) -> None:
+        """Tear the batcher down (owner crashed).
+
+        Cancels the pending flush timer — so no stale callback fires into
+        the event loop after the owner is gone — and cancels the futures
+        of any payloads still waiting in the partial batch.
+        """
+        self._closed = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        pending, self._pending = self._pending, []
+        for _payload, fut in pending:
+            if not fut.done():
+                fut.cancel()
 
     def _on_timeout(self) -> None:
         self._timer = None
@@ -62,7 +87,7 @@ class ReplyBatcher:
             self._timer = None
         batch, self._pending = self._pending, []
         self.batches_flushed += 1
-        self.sim.create_task(self._sign_batch(batch), name="batch-sign")
+        self._spawn(self._sign_batch(batch), name="batch-sign")
 
     async def _sign_batch(self, batch: list[tuple[Any, Future]]) -> None:
         tracer = self.sim.tracer

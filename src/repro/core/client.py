@@ -116,6 +116,7 @@ class BasilClient(Node):
         # statistics
         self.fallbacks_invoked = 0
         self.recoveries_started = 0
+        self.recoveries_finished = 0
 
     # ------------------------------------------------------------------
     # Request plumbing

@@ -116,9 +116,15 @@ class RecoveryCoordinator:
                 }
             )
             done = await self._common_case(req_id, queue, state)
-            if done is not None:
-                return done
-            return await self._divergent_case(req_id, queue, state)
+            if done is None:
+                done = await self._divergent_case(req_id, queue, state)
+            self.client.recoveries_finished += 1
+            if tracer.enabled:
+                tracer.instant(
+                    self.client.name, "fallback", "recovery_done",
+                    txid=self.tx.txid.hex(), decision=done[0].value,
+                )
+            return done
         finally:
             self.client.unwatch_finish(self.tx.txid, queue)
             self.client._unregister(req_id)

@@ -96,7 +96,9 @@ class BasilReplica(Node):
         self.crypto = CryptoContext(registry, registry.issue(name), config.crypto, self.cpu)
         self.verifier = AttestationVerifier(self.crypto, aggregate=config.crypto.signature_aggregation)
         self.validator = CertValidator(config, sharder, self.verifier)
-        self.batcher = ReplyBatcher(sim, self.crypto, config.batch_size, config.batch_timeout)
+        self.batcher = ReplyBatcher(
+            sim, self.crypto, config.batch_size, config.batch_timeout, spawn=self.spawn
+        )
         from repro.storage.versionstore import VersionStore
 
         self.store: VersionStore = VersionStore()
@@ -124,6 +126,38 @@ class BasilReplica(Node):
             state = TxState()
             self.tx_states[txid] = state
         return state
+
+    # ------------------------------------------------------------------
+    # Crash / restart (fault injection)
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        """Node.crash() cancelled our tasks; also kill the batch timer.
+
+        Without this the reply batcher's flush timer survives the crash,
+        fires into the event loop, and signs + resolves attestations on
+        behalf of a dead replica (the classic stale-callback leak).
+        """
+        self.batcher.close()
+
+    def on_restart(self) -> None:
+        """Restart with state retention (modeled durable storage).
+
+        Committed data, decided transactions, and *cast* votes survive
+        (vote-once must hold across restarts).  Volatile mid-flight state
+        does not: the partial reply batch died with the crash, and any
+        transaction that was prepared but whose vote was still pending on
+        dependency decisions is rolled back — the interrupted wait task
+        is gone, so the prepare is redone from scratch when a client
+        replays ST1/RP.
+        """
+        self.batcher = ReplyBatcher(
+            self.sim, self.crypto, self.config.batch_size, self.config.batch_timeout,
+            spawn=self.spawn,
+        )
+        for state in self.tx_states.values():
+            if state.phase is TxPhase.PREPARED and state.vote is None and state.tx is not None:
+                undo_prepare(self.store, state.tx)
+                state.phase = TxPhase.UNKNOWN
 
     # ------------------------------------------------------------------
     # Dispatch

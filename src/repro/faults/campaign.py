@@ -1,0 +1,385 @@
+"""The seed-sweep simulation fuzzer.
+
+One *case* = (scenario, system kind, seed).  The campaign builds a fresh
+system, arms a :class:`~repro.faults.injector.FaultInjector` with the
+scenario's seed-derived schedule, drives closed-loop clients through the
+existing bench harness, then — after a fault-free drain — checks:
+
+* **Safety**, unconditionally: the Byz-serializability
+  :class:`~repro.verify.history.HistoryChecker` for Basil; store
+  convergence oracles for the TAPIR/TxSMR baselines.
+* **Liveness**, per the scenario's :class:`~repro.config.LivenessConfig`:
+  minimum commits, bounded undecided residue, bounded recovery
+  starvation.
+
+A failing case emits a self-contained JSON *repro bundle* (seed, built
+schedule, scale, liveness bounds, trace digest) that ``python -m
+repro.faults replay bundle.json`` re-executes exactly — no scenario
+code runs during replay, only the recorded schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.baselines.tapir.system import TapirSystem
+from repro.baselines.txsmr.system import TxSMRSystem
+from repro.bench.runner import ExperimentRunner
+from repro.byzantine.clients import ByzantineClient
+from repro.config import LivenessConfig, SystemConfig
+from repro.core.system import BasilSystem
+from repro.faults.injector import FaultInjector
+from repro.faults.scenarios import SCENARIOS, Scale, Scenario
+from repro.faults.spec import FaultSchedule
+from repro.trace import Tracer
+from repro.trace.export import trace_digest
+from repro.verify.history import HistoryChecker
+from repro.workloads.ycsb import YCSBWorkload
+
+
+@dataclass
+class CaseResult:
+    """Outcome of one (scenario, system, seed) run."""
+
+    scenario: str
+    system: str
+    seed: int
+    commits: int = 0
+    aborts: int = 0
+    protocol_errors: int = 0
+    undecided: int = 0
+    faults_applied: int = 0
+    digest: str | None = None
+    safety_violations: list[str] = field(default_factory=list)
+    liveness_violations: list[str] = field(default_factory=list)
+    bundle: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.safety_violations and not self.liveness_violations
+
+    def row(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        tail = ""
+        if self.safety_violations:
+            tail += f"  safety:{len(self.safety_violations)}"
+        if self.liveness_violations:
+            tail += "  " + "; ".join(self.liveness_violations)
+        return (
+            f"{status} {self.scenario:<26} {self.system:<6} seed={self.seed:<4} "
+            f"commits={self.commits:<5} aborts={self.aborts:<4} "
+            f"faults={self.faults_applied:<5}{tail}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# System construction
+# ---------------------------------------------------------------------------
+def make_config(seed: int, overrides: dict[str, Any] | None = None) -> SystemConfig:
+    config = SystemConfig(f=1, batch_size=4, seed=seed)
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return config
+
+
+def build_system(kind: str, config: SystemConfig) -> Any:
+    if kind == "basil":
+        return BasilSystem(config)
+    if kind == "tapir":
+        return TapirSystem(config)
+    if kind == "txsmr":
+        return TxSMRSystem(config, protocol="pbft")
+    raise ValueError(f"unknown system kind {kind!r}")
+
+
+def _client_factories(system: Any, schedule: FaultSchedule, num_clients: int):
+    """Expand byz-client faults into the runner's client factory mix."""
+    byz: list[tuple[str, float]] = []
+    for fault in schedule.byz_clients:
+        byz.extend([(fault.behaviour, fault.faulty_fraction)] * fault.count)
+    if not byz:
+        return None
+    factories = []
+    for i in range(num_clients):
+        if i < len(byz):
+            behaviour, fraction = byz[i]
+            factories.append(
+                lambda s=system, b=behaviour, fr=fraction: s.create_client(
+                    client_class=ByzantineClient, behaviour=b, faulty_fraction=fr
+                )
+            )
+        else:
+            factories.append(lambda s=system: s.create_client())
+    return factories
+
+
+# ---------------------------------------------------------------------------
+# Safety oracles
+# ---------------------------------------------------------------------------
+def check_safety(kind: str, system: Any) -> list[str]:
+    if kind == "basil":
+        return [str(v) for v in HistoryChecker(system).check()]
+    if kind == "tapir":
+        return _tapir_convergence(system)
+    if kind == "txsmr":
+        return _txsmr_convergence(system)
+    raise ValueError(f"unknown system kind {kind!r}")
+
+
+def _tapir_convergence(system: Any) -> list[str]:
+    """Committed version chains must agree across a shard's replicas.
+
+    A partitioned/crashed replica may lag (missing versions), but any
+    (key, timestamp) it did commit must carry the same writer everywhere.
+    """
+    violations: list[str] = []
+    for shard in range(system.config.num_shards):
+        members = system.sharder.members(shard)
+        stores = [system.replicas[name].store.versions for name in members]
+        keys: set[Any] = set()
+        for store in stores:
+            keys.update(store.keys())
+        for key in keys:
+            merged: dict[Any, Any] = {}
+            for store in stores:
+                for version in store.committed_versions(key):
+                    prior = merged.get(version.timestamp)
+                    if prior is None:
+                        merged[version.timestamp] = version.writer
+                    elif prior != version.writer:
+                        violations.append(
+                            f"[tapir-divergence] shard {shard} key {key!r} at "
+                            f"{version.timestamp}: two writers"
+                        )
+    return violations
+
+
+def _txsmr_convergence(system: Any) -> list[str]:
+    """Replicas at the same per-key version must hold the same value.
+
+    SMR replicas apply the same ordered log, so a lagging replica sits at
+    an older version — but two replicas at version v must agree on v's
+    value, else the shard's logs diverged.
+    """
+    violations: list[str] = []
+    for shard in range(system.config.num_shards):
+        members = system.sharder.members(shard)
+        keys: set[Any] = set()
+        for name in members:
+            keys.update(system.apps[name].store.data.keys())
+        for key in keys:
+            by_version: dict[int, Any] = {}
+            for name in members:
+                entry = system.apps[name].store.data.get(key)
+                if entry is None:
+                    continue
+                if entry.version in by_version:
+                    if by_version[entry.version] != entry.value:
+                        violations.append(
+                            f"[txsmr-divergence] shard {shard} key {key!r} "
+                            f"version {entry.version}: two values"
+                        )
+                else:
+                    by_version[entry.version] = entry.value
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Case execution
+# ---------------------------------------------------------------------------
+def execute_case(
+    scenario_name: str,
+    system_kind: str,
+    seed: int,
+    schedule: FaultSchedule,
+    scale: Scale,
+    liveness: LivenessConfig,
+    config_overrides: dict[str, Any] | None = None,
+    with_trace: bool = True,
+) -> CaseResult:
+    """Run one fully specified case (the replay entry point)."""
+    config = make_config(seed, config_overrides)
+    system = build_system(system_kind, config)
+    injector = FaultInjector(schedule)
+    tracer = Tracer() if with_trace else None
+    workload = YCSBWorkload(
+        num_keys=scale.keys, reads=2, writes=2, distribution="zipfian"
+    )
+    runner = ExperimentRunner(
+        system,
+        workload,
+        num_clients=scale.clients,
+        duration=scale.duration,
+        warmup=scale.warmup,
+        name=f"{scenario_name}/{system_kind}/seed{seed}",
+        client_factories=_client_factories(system, schedule, scale.clients),
+        tracer=tracer,
+        injector=injector,
+        cancel_at_end=False,
+    )
+    bench = runner.run()
+    # Fault-free drain: transient faults have ended by construction (see
+    # scenarios), so retries/recoveries/writebacks can settle before the
+    # oracles look at the final state.
+    system.sim.run(until=scale.end_time + liveness.drain)
+
+    case = CaseResult(
+        scenario=scenario_name,
+        system=system_kind,
+        seed=seed,
+        commits=bench.commits,
+        aborts=bench.aborts,
+        protocol_errors=runner.monitor.counter("protocol_errors").value,
+        faults_applied=injector.faults_applied(),
+        digest=trace_digest(tracer) if tracer is not None else None,
+        safety_violations=check_safety(system_kind, system),
+    )
+    if system_kind == "basil":
+        case.undecided = len(HistoryChecker(system).undecided_prepared())
+
+    if case.commits < liveness.min_commits:
+        case.liveness_violations.append(
+            f"commits {case.commits} < min {liveness.min_commits}"
+        )
+    if (
+        system_kind == "basil"
+        and liveness.max_undecided is not None
+        and case.undecided > liveness.max_undecided
+    ):
+        case.liveness_violations.append(
+            f"undecided {case.undecided} > max {liveness.max_undecided}"
+        )
+    if case.protocol_errors > liveness.max_protocol_errors:
+        case.liveness_violations.append(
+            f"protocol_errors {case.protocol_errors} > max {liveness.max_protocol_errors}"
+        )
+    return case
+
+
+def run_case(
+    scenario: Scenario,
+    system_kind: str,
+    seed: int,
+    scale: Scale,
+    with_trace: bool = True,
+) -> tuple[CaseResult, FaultSchedule]:
+    schedule = scenario.schedule(seed, scale)
+    case = execute_case(
+        scenario.name,
+        system_kind,
+        seed,
+        schedule,
+        scale,
+        scenario.liveness,
+        scenario.config_overrides,
+        with_trace=with_trace,
+    )
+    return case, schedule
+
+
+# ---------------------------------------------------------------------------
+# Repro bundles
+# ---------------------------------------------------------------------------
+def write_bundle(
+    case: CaseResult,
+    schedule: FaultSchedule,
+    scale: Scale,
+    liveness: LivenessConfig,
+    config_overrides: dict[str, Any],
+    out_dir: str,
+) -> str:
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(
+        out_dir, f"{case.scenario}__{case.system}__seed{case.seed}.json"
+    )
+    payload = {
+        "scenario": case.scenario,
+        "system": case.system,
+        "seed": case.seed,
+        "schedule": schedule.to_dict(),
+        "scale": asdict(scale),
+        "liveness": asdict(liveness),
+        "config_overrides": config_overrides,
+        "trace_digest": case.digest,
+        "safety_violations": case.safety_violations,
+        "liveness_violations": case.liveness_violations,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def replay_bundle(path: str, with_trace: bool = True) -> CaseResult:
+    """Re-execute a recorded failure exactly from its bundle."""
+    with open(path) as fh:
+        bundle = json.load(fh)
+    case = execute_case(
+        bundle["scenario"],
+        bundle["system"],
+        bundle["seed"],
+        FaultSchedule.from_dict(bundle["schedule"]),
+        Scale(**bundle["scale"]),
+        LivenessConfig(**bundle["liveness"]),
+        bundle.get("config_overrides") or None,
+        with_trace=with_trace,
+    )
+    recorded = bundle.get("trace_digest")
+    if with_trace and recorded and case.digest != recorded:
+        case.liveness_violations.append(
+            f"replay digest {case.digest[:12]} != recorded {recorded[:12]}"
+        )
+    return case
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+def sweep(
+    seeds: int = 10,
+    seed_base: int = 1,
+    scenario_names: tuple[str, ...] | None = None,
+    systems: tuple[str, ...] | None = None,
+    scale: Scale | None = None,
+    out_dir: str = "fault-failures",
+    with_trace: bool = True,
+    verbose: bool = True,
+) -> list[CaseResult]:
+    """N seeds x scenario matrix x applicable systems; bundle failures."""
+    scale = scale or Scale.quick()
+    names = scenario_names or tuple(SCENARIOS)
+    results: list[CaseResult] = []
+    for name in names:
+        scenario = SCENARIOS[name]
+        kinds = [k for k in scenario.systems if systems is None or k in systems]
+        for kind in kinds:
+            for i in range(seeds):
+                seed = seed_base + i
+                case, schedule = run_case(
+                    scenario, kind, seed, scale, with_trace=with_trace
+                )
+                if not case.ok:
+                    case.bundle = write_bundle(
+                        case, schedule, scale, scenario.liveness,
+                        scenario.config_overrides, out_dir,
+                    )
+                results.append(case)
+                if verbose:
+                    print(case.row(), flush=True)
+    return results
+
+
+def summarize(results: list[CaseResult]) -> str:
+    failures = [r for r in results if not r.ok]
+    safety = sum(len(r.safety_violations) for r in results)
+    lines = [
+        f"{len(results)} cases: {len(results) - len(failures)} ok, "
+        f"{len(failures)} failed ({safety} safety violations)"
+    ]
+    for case in failures:
+        lines.append(f"  {case.scenario}/{case.system}/seed{case.seed}"
+                     + (f" -> {case.bundle}" if case.bundle else ""))
+    return "\n".join(lines)

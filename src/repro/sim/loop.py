@@ -303,7 +303,7 @@ class Simulator:
         while self._queue:
             when, _seq, handle, fn, args = self._queue[0]
             if until is not None and when > until:
-                self.now = until
+                self.now = max(self.now, until)
                 return
             heapq.heappop(self._queue)
             if handle.cancelled:

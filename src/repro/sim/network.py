@@ -47,6 +47,10 @@ class Network:
         self.config = config or NetworkConfig()
         self.adversary: NetworkAdversary = adversary or PassiveAdversary()
         self._nodes: dict[str, Node] = {}
+        #: Every name ever registered: lets ``send`` distinguish a typo'd
+        #: destination (a bug — raise) from a crashed/unregistered node
+        #: (a fault — drop the message).
+        self._known: set[str] = set()
         self._rng = sim.rng("network")
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -56,6 +60,14 @@ class Network:
         if node.name in self._nodes:
             raise SimulationError(f"duplicate node name {node.name!r}")
         self._nodes[node.name] = node
+        self._known.add(node.name)
+
+    def unregister(self, name: str) -> Node:
+        """Detach a node (crash): in-flight and future messages to it drop."""
+        node = self._nodes.pop(name, None)
+        if node is None:
+            raise SimulationError(f"unknown node {name!r}")
+        return node
 
     def node(self, name: str) -> Node:
         return self._nodes[name]
@@ -74,7 +86,17 @@ class Network:
     def send(self, src: Node, dst: str, message: Any) -> None:
         """Fire-and-forget unicast from ``src`` to the node named ``dst``."""
         if dst not in self._nodes:
-            raise SimulationError(f"unknown destination {dst!r}")
+            if dst not in self._known:
+                raise SimulationError(f"unknown destination {dst!r}")
+            # A crashed (unregistered) peer: the message is simply lost.
+            src.messages_sent += 1
+            self.messages_dropped += 1
+            if self.sim.tracer.enabled:
+                self.sim.tracer.instant(
+                    src.name, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="crashed",
+                )
+            return
         src.messages_sent += 1
         tracer = self.sim.tracer
         if self.config.drop_rate and self._rng.random() < self.config.drop_rate:
@@ -105,6 +127,15 @@ class Network:
         """Unicast the same message to every destination (independent delays)."""
         for dst in dsts:
             self.send(src, dst, message)
+
+    def inject(self, src: str, dst: str, message: Any, delay: float) -> None:
+        """Schedule one extra delivery, bypassing the adversary.
+
+        Used by fault injection (message duplication): the copy is
+        delivered as-is after ``delay``, subject only to the destination
+        still being registered at delivery time.
+        """
+        self.sim.call_later(delay, self._deliver, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
         tracer = self.sim.tracer

@@ -79,6 +79,12 @@ class Node:
         self.clock_offset = 0.0
         self.messages_received = 0
         self.messages_sent = 0
+        #: True between crash() and restart(); a crashed node processes
+        #: nothing and owns no live tasks.
+        self.crashed = False
+        #: Live tasks owned by this node; cancelled wholesale on crash so
+        #: no stale callback of a dead node fires into the event loop.
+        self._tasks: set[Task] = set()
 
     # -- local clock ----------------------------------------------------
     @property
@@ -89,6 +95,8 @@ class Node:
     # -- messaging ------------------------------------------------------
     def deliver(self, sender: str, message: Any) -> None:
         """Entry point used by the network; spawns a handler task."""
+        if self.crashed:
+            return
         self.messages_received += 1
         self.spawn(self._handle(sender, message), name=f"{self.name}/handle")
 
@@ -103,7 +111,44 @@ class Node:
 
     def spawn(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
         """Start a background task owned by this node."""
-        return self.sim.create_task(coro, name=name or self.name)
+        task = self.sim.create_task(coro, name=name or self.name)
+        if not task.done():
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return task
+
+    # -- crash / restart -------------------------------------------------
+    def crash(self) -> None:
+        """Fail-stop this node.
+
+        Every task the node owns is cancelled *now*, so nothing scheduled
+        on its behalf (handler coroutines, dependency waits, in-flight
+        signing work spawned via :meth:`spawn`) can fire later and send
+        messages or mutate state from beyond the grave.  Subclasses that
+        keep their own timers must cancel them in :meth:`on_crash`.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        tasks, self._tasks = list(self._tasks), set()
+        for task in tasks:
+            task.cancel()
+        self.on_crash()
+
+    def restart(self) -> None:
+        """Bring a crashed node back (state retention is the subclass's
+        business: by default everything in memory survives, modeling a
+        restart from durable storage)."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_restart()
+
+    def on_crash(self) -> None:
+        """Subclass hook: cancel node-owned timers, drop volatile state."""
+
+    def on_restart(self) -> None:
+        """Subclass hook: rebuild volatile state after a restart."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name}>"

@@ -110,6 +110,29 @@ class HistoryChecker:
                         )
 
     # ------------------------------------------------------------------
+    # Liveness helpers (used by the fault-injection campaign)
+    # ------------------------------------------------------------------
+    def committed_count(self) -> int:
+        """Distinct transactions committed somewhere in the system."""
+        return len(self._committed_transactions())
+
+    def undecided_prepared(self) -> set[bytes]:
+        """Transactions still prepared on some replica with no decision
+        *anywhere* — the stalled residue the fallback is supposed to
+        clear.  A transaction decided on at least one replica is excluded
+        (asynchronous writebacks propagate; convergence is checked
+        separately)."""
+        prepared: set[bytes] = set()
+        decided: set[bytes] = set()
+        for replica in self.system.replicas.values():
+            for txid, state in replica.tx_states.items():
+                if state.phase is TxPhase.PREPARED:
+                    prepared.add(txid)
+                elif state.phase in (TxPhase.COMMITTED, TxPhase.ABORTED):
+                    decided.add(txid)
+        return prepared - decided
+
+    # ------------------------------------------------------------------
     def _committed_transactions(self) -> dict[bytes, Any]:
         committed: dict[bytes, Any] = {}
         for replica in self.system.replicas.values():

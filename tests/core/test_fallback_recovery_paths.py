@@ -1,0 +1,102 @@
+"""Fallback recovery under stalled clients x Byzantine replica classes.
+
+The paper's liveness story (Sec 5): a correct client whose transaction
+reads from — or conflicts with — a stalled transaction *finishes* it via
+the fallback.  These tests pair each stalling client strategy with each
+Byzantine replica class and assert the recovery completes, the victim
+commits, and the final history stays Byz-serializable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.byzantine.clients import ByzantineClient
+from repro.byzantine.replicas import REPLICA_BEHAVIOURS
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.mvtso import TxPhase
+from repro.core.system import BasilSystem
+from repro.verify.history import HistoryChecker
+
+
+def make_system(**overrides):
+    defaults = dict(f=1, num_shards=1, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    system.load({f"k{i}": f"v{i}".encode() for i in range(10)})
+    return system
+
+
+@pytest.mark.parametrize("replica_behaviour", sorted(REPLICA_BEHAVIOURS))
+@pytest.mark.parametrize("stall", ["stall-early", "stall-late"])
+def test_victim_recovers_despite_byz_replica(stall, replica_behaviour):
+    system = make_system()
+    system.replace_replica("s0/r3", REPLICA_BEHAVIOURS[replica_behaviour])
+    attacker = system.create_client(
+        client_class=ByzantineClient, behaviour=stall, faulty_fraction=1.0
+    )
+    victim = system.create_client()
+
+    async def main():
+        byz_session = TransactionSession(attacker)
+        byz_session.write("k1", b"stalled-write")
+        await byz_session.commit()  # stalls at its behaviour's stage
+        await system.sim.sleep(0.01)
+        # a closed-loop client retries after an abort (e.g. when the
+        # recovery decided ABORT for the stalled dependency it read from)
+        for _ in range(5):
+            session = TransactionSession(victim)
+            value = await session.read("k1")
+            session.write("k2", b"victim-write")
+            result = await session.commit()
+            if result.committed:
+                return value, result
+            await system.sim.sleep(0.005)
+        return value, result
+
+    value, result = system.sim.run_until_complete(main())
+    assert result.committed
+    # the victim either read the stalled prepared write (and recovered
+    # its writer) or the pre-state; either way its own txn finished
+    assert value in (b"stalled-write", b"v1")
+    system.run()  # drain all recoveries and writebacks
+    if victim.recoveries_started:
+        assert victim.recoveries_finished >= 1
+    HistoryChecker(system).assert_ok()
+
+
+@pytest.mark.parametrize("stall", ["stall-early", "stall-late"])
+def test_stalled_tx_is_finished_by_reader(stall):
+    """The stalled transaction itself converges to a decision everywhere."""
+    system = make_system()
+    attacker = system.create_client(
+        client_class=ByzantineClient, behaviour=stall, faulty_fraction=1.0
+    )
+    victim = system.create_client()
+
+    async def main():
+        byz_session = TransactionSession(attacker)
+        byz_session.write("k1", b"stalled-write")
+        await byz_session.commit()
+        await system.sim.sleep(0.01)
+        session = TransactionSession(victim)
+        await session.read("k1")
+        session.write("k2", b"v")
+        return await session.commit()
+
+    result = system.sim.run_until_complete(main())
+    assert result.committed
+    assert victim.recoveries_started >= 1
+    system.run()
+    assert victim.recoveries_finished == victim.recoveries_started
+    phases = {
+        state.phase
+        for replica in system.shard_replicas(0)
+        for state in replica.tx_states.values()
+        if state.tx is not None and state.tx.writes_key("k1")
+    }
+    # decided everywhere: no replica still has the write merely prepared
+    assert TxPhase.PREPARED not in phases
+    assert phases & {TxPhase.COMMITTED, TxPhase.ABORTED}
+    HistoryChecker(system).assert_ok()

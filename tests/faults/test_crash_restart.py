@@ -1,0 +1,142 @@
+"""Crash/restart semantics at the replica level.
+
+Regression tests for the pending-timer/event leak: before the fix, a
+replica crashed mid-Prepare left its reply-batcher flush timer and
+signing tasks live in the event loop — they would fire on behalf of the
+dead node, sending replies "from beyond the grave".  Now all node-owned
+tasks die with the node and the batcher is torn down.
+
+Also covers restart state retention: durable state (store, decided
+transactions, cast votes) survives; volatile state (partial reply
+batches, prepares still awaiting dependency votes) does not.
+"""
+
+from __future__ import annotations
+
+from repro.byzantine.clients import ByzantineClient
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.mvtso import TxPhase
+from repro.core.system import BasilSystem
+
+
+def make_system(**overrides):
+    defaults = dict(f=1, num_shards=1, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    system.load({f"k{i}": f"v{i}".encode() for i in range(5)})
+    return system
+
+
+def stall_write(system, key, value):
+    """A stall-early client prepares a write everywhere, then vanishes."""
+    attacker = system.create_client(
+        client_class=ByzantineClient, behaviour="stall-early", faulty_fraction=1.0
+    )
+
+    async def go():
+        session = TransactionSession(attacker)
+        session.write(key, value)
+        await session.commit()
+
+    system.sim.run_until_complete(go())
+    system.run(until=system.sim.now + 0.01)  # let the ST1s land
+
+
+def crash_and_restart(system, name):
+    node = system.network.unregister(name)
+    node.crash()
+    node.restart()
+    system.network.register(node)
+    return node
+
+
+def test_crash_mid_prepare_cancels_batcher_timer():
+    # a large batch never fills, so a vote reply parks in a partial
+    # batch guarded only by the flush timer
+    system = make_system(batch_size=32, batch_timeout=0.05)
+    stall_write(system, "k1", b"partial")
+    replica = system.replicas["s0/r3"]
+    assert replica.batcher._pending  # partial batch is waiting
+    assert replica.batcher._timer is not None
+    flushed_before = replica.batcher.batches_flushed
+
+    system.network.unregister("s0/r3")
+    replica.crash()
+    assert replica.batcher._closed
+    assert replica.batcher._timer is None
+    assert not replica._tasks  # every owned task cancelled with the node
+
+    # run far past the batch timeout: the dead replica's timer must not
+    # fire, flush, or sign anything
+    system.run(until=system.sim.now + 0.5)
+    assert replica.batcher.batches_flushed == flushed_before
+
+
+def test_crash_drops_partial_batch_futures():
+    system = make_system(batch_size=32, batch_timeout=0.05)
+    stall_write(system, "k1", b"partial")
+    replica = system.replicas["s0/r2"]
+    futures = [fut for _, fut in replica.batcher._pending]
+    assert futures
+    system.network.unregister("s0/r2")
+    replica.crash()
+    assert all(fut.cancelled() for fut in futures)
+
+
+def test_restart_retains_votes_and_rolls_back_unvoted_prepares():
+    system = make_system()
+    # A: prepared everywhere, vote cast (no dependencies)
+    stall_write(system, "k1", b"dep-write")
+    # B: reads A's prepared write -> prepared with vote *pending* on A
+    attacker = system.create_client(
+        client_class=ByzantineClient, behaviour="stall-early", faulty_fraction=1.0
+    )
+
+    async def go():
+        session = TransactionSession(attacker)
+        value = await session.read("k1")
+        assert value == b"dep-write"
+        session.write("k2", b"dependent")
+        await session.commit()
+
+    system.sim.run_until_complete(go())
+    system.run(until=system.sim.now + 0.01)
+
+    replica = system.replicas["s0/r4"]
+
+    def state_writing(key):
+        for state in replica.tx_states.values():
+            if state.tx is not None and state.tx.writes_key(key):
+                return state
+        return None
+
+    state_a = state_writing("k1")
+    state_b = state_writing("k2")
+    assert state_a.phase is TxPhase.PREPARED and state_a.vote is not None
+    assert state_b.phase is TxPhase.PREPARED and state_b.vote is None
+
+    crash_and_restart(system, "s0/r4")
+
+    # the cast vote survives the crash (durable: vote-once semantics);
+    # the unvoted prepare is rolled back, store residue included
+    assert state_a.phase is TxPhase.PREPARED
+    assert state_a.vote is not None
+    assert state_b.phase is TxPhase.UNKNOWN
+    ts_b = state_b.tx.timestamp
+    assert ts_b not in {v.timestamp for v in replica.store.prepared_versions("k2")}
+    # committed genesis state is intact
+    assert replica.store.committed_versions("k1")
+
+
+def test_restarted_replica_serves_traffic_again():
+    system = make_system()
+    crash_and_restart(system, "s0/r1")
+
+    async def body(session):
+        session.write("k3", b"after-restart")
+
+    result = system.run_transaction(body)
+    assert result.committed
+    system.run()
+    assert system.committed_value("k3") == b"after-restart"

@@ -1,0 +1,166 @@
+"""FaultInjector behaviour against live systems."""
+
+import pytest
+
+from repro.byzantine.replicas import SilentReplica
+from repro.config import SystemConfig
+from repro.core.api import TransactionSession
+from repro.core.system import BasilSystem
+from repro.errors import SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import (
+    ByzantineReplicaFault,
+    CrashFault,
+    FaultSchedule,
+    LinkFault,
+    PartitionFault,
+)
+
+
+def make_system(**overrides):
+    defaults = dict(f=1, num_shards=1, batch_size=1)
+    defaults.update(overrides)
+    system = BasilSystem(SystemConfig(**defaults))
+    system.load({f"k{i}": f"v{i}".encode() for i in range(5)})
+    return system
+
+
+def run_txn(system, key="k1", value=b"x"):
+    async def body(session):
+        session.write(key, value)
+
+    return system.run_transaction(body)
+
+
+def test_attach_twice_raises():
+    injector = FaultInjector()
+    injector.attach(make_system())
+    with pytest.raises(SimulationError):
+        injector.attach(make_system())
+
+
+def test_unmatched_crash_pattern_raises():
+    schedule = FaultSchedule(faults=(CrashFault(node="s9/r9", at=0.1),))
+    with pytest.raises(SimulationError):
+        FaultInjector(schedule).attach(make_system())
+
+
+def test_byz_replica_needs_replace_replica():
+    from repro.baselines.tapir.system import TapirSystem
+
+    schedule = FaultSchedule(
+        faults=(ByzantineReplicaFault(node="s0/r0", behaviour="silent"),)
+    )
+    with pytest.raises(SimulationError):
+        FaultInjector(schedule).attach(TapirSystem(SystemConfig(f=1)))
+
+
+def test_byz_replica_swap_applies_at_attach():
+    schedule = FaultSchedule(
+        faults=(ByzantineReplicaFault(node="s0/r1", behaviour="silent"),)
+    )
+    system = make_system()
+    injector = FaultInjector(schedule).attach(system)
+    assert isinstance(system.replicas["s0/r1"], SilentReplica)
+    assert injector.stats["byz_replicas"] == 1
+
+
+def test_partition_drops_cross_group_messages():
+    schedule = FaultSchedule(
+        faults=(PartitionFault(groups=(("s0/r0",), ("*",)), start=0.0),)
+    )
+    system = make_system()
+    injector = FaultInjector(schedule).attach(system)
+    result = run_txn(system)
+    assert result.committed  # 5 of 6 replicas is still a commit quorum
+    assert injector.stats["partition_drops"] > 0
+
+
+def test_link_drop_all_blocks_matching_direction_only():
+    # drop everything the client sends to r0; replies still flow
+    schedule = FaultSchedule(
+        faults=(LinkFault(src="client/*", dst="s0/r0", drop_rate=1.0),)
+    )
+    system = make_system()
+    injector = FaultInjector(schedule).attach(system)
+    result = run_txn(system)
+    assert result.committed
+    assert injector.stats["link_drops"] > 0
+    assert injector.stats["partition_drops"] == 0
+
+
+def test_duplicates_and_delays_keep_protocol_safe():
+    schedule = FaultSchedule(
+        faults=(
+            LinkFault(duplicate_rate=1.0, extra_delay=1e-4,
+                      delay_jitter=1e-4, reorder_rate=0.5),
+        )
+    )
+    system = make_system()
+    injector = FaultInjector(schedule).attach(system)
+    for i in range(3):
+        assert run_txn(system, key=f"k{i}", value=b"dup").committed
+    assert injector.stats["duplicates"] > 0
+    assert injector.stats["delayed"] > 0
+    assert system.committed_value("k1") == b"dup"
+
+
+def test_crash_unregisters_and_restart_rejoins():
+    schedule = FaultSchedule(
+        faults=(CrashFault(node="s0/r2", at=0.01, restart_at=0.02),)
+    )
+    system = make_system()
+    injector = FaultInjector(schedule).attach(system)
+    replica = system.replicas["s0/r2"]
+    system.run(until=0.015)
+    assert replica.crashed
+    assert "s0/r2" not in system.network._nodes
+    assert injector.stats["crashes"] == 1
+    system.run(until=0.025)
+    assert not replica.crashed
+    assert system.network._nodes["s0/r2"] is replica
+    assert injector.stats["restarts"] == 1
+    assert run_txn(system).committed
+
+
+def test_crash_fault_pattern_hits_every_shard():
+    schedule = FaultSchedule(faults=(CrashFault(node="s*/r0", at=0.01),))
+    system = make_system(num_shards=2)
+    FaultInjector(schedule).attach(system)
+    system.run(until=0.02)
+    assert system.replicas["s0/r0"].crashed
+    assert system.replicas["s1/r0"].crashed
+
+
+def test_sends_to_crashed_replica_drop_instead_of_raising():
+    schedule = FaultSchedule(faults=(CrashFault(node="s0/r0", at=0.001),))
+    system = make_system()
+    FaultInjector(schedule).attach(system)
+    system.run(until=0.002)
+    # a client broadcasting ST1 to all 6 replicas must not blow up
+    assert run_txn(system).committed
+
+
+def test_empty_schedule_never_touches_fault_rng():
+    system = make_system()
+    injector = FaultInjector().attach(system)
+    run_txn(system)
+    assert injector._rng is None  # lazy stream was never created
+    assert injector.faults_applied() == 0
+
+
+def test_wraps_existing_adversary_as_inner_stage():
+    class CountingAdversary:
+        def __init__(self):
+            self.seen = 0
+
+        def intercept(self, src, dst, message, base_delay):
+            self.seen += 1
+            return base_delay
+
+    inner = CountingAdversary()
+    system = BasilSystem(SystemConfig(f=1, batch_size=1), adversary=inner)
+    system.load({"k1": b"v1"})
+    FaultInjector().attach(system)
+    assert run_txn(system).committed
+    assert inner.seen > 0  # inner adversary still consulted for every send

@@ -1,0 +1,110 @@
+"""Fault-spec semantics and JSON round-tripping (repro bundles)."""
+
+import pytest
+
+from repro.faults.spec import (
+    ByzantineClientFault,
+    ByzantineReplicaFault,
+    CrashFault,
+    FaultSchedule,
+    FaultSpecError,
+    LinkFault,
+    PartitionFault,
+)
+
+
+def full_schedule() -> FaultSchedule:
+    return FaultSchedule(
+        name="kitchen-sink",
+        faults=(
+            LinkFault(src="client/*", dst="s0/*", start=0.1, end=0.2,
+                      drop_rate=0.5, extra_delay=1e-3, delay_jitter=1e-4,
+                      duplicate_rate=0.1, reorder_rate=0.2, reorder_spread=1e-3),
+            PartitionFault(groups=(("s0/r0",), ("*",)), start=0.05, end=None),
+            CrashFault(node="s*/r1", at=0.1, restart_at=0.3),
+            ByzantineReplicaFault(node="s0/r2", behaviour="silent"),
+            ByzantineClientFault(behaviour="stall-late", count=3, faulty_fraction=0.5),
+        ),
+    )
+
+
+def test_json_round_trip_is_exact():
+    schedule = full_schedule()
+    restored = FaultSchedule.from_json(schedule.to_json())
+    assert restored == schedule
+    assert restored.to_json() == schedule.to_json()
+
+
+def test_kind_selectors():
+    schedule = full_schedule()
+    assert len(schedule.links) == 1
+    assert len(schedule.partitions) == 1
+    assert len(schedule.crashes) == 1
+    assert len(schedule.byz_replicas) == 1
+    assert len(schedule.byz_clients) == 1
+    assert bool(schedule)
+    assert not FaultSchedule()
+
+
+def test_link_fault_windows_and_matching():
+    fault = LinkFault(src="client/*", dst="s0/*", start=0.1, end=0.2)
+    assert not fault.active(0.05)
+    assert fault.active(0.1)
+    assert fault.active(0.19)
+    assert not fault.active(0.2)  # end-exclusive
+    assert fault.matches("client/1", "s0/r3")
+    assert not fault.matches("s0/r3", "client/1")  # directional
+    permanent = LinkFault(start=0.1, end=None)
+    assert permanent.active(1e9)
+
+
+def test_partition_group_semantics():
+    fault = PartitionFault(groups=(("s0/r0", "s0/r1"), ("s0/r2",)))
+    assert fault.separates("s0/r0", "s0/r2")
+    assert fault.separates("s0/r2", "s0/r1")
+    assert not fault.separates("s0/r0", "s0/r1")  # same group
+    # nodes matching no group are unrestricted in both directions
+    assert not fault.separates("client/1", "s0/r0")
+    assert not fault.separates("s0/r0", "client/1")
+
+
+def test_partition_first_matching_group_wins():
+    fault = PartitionFault(groups=(("s0/r0",), ("s0/*",)))
+    assert not fault.separates("s0/r0", "s0/r0")
+    assert fault.separates("s0/r0", "s0/r1")
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        LinkFault(drop_rate=1.5),
+        LinkFault(start=0.2, end=0.1),
+        LinkFault(extra_delay=-1.0),
+        PartitionFault(groups=(("s0/r0",),)),  # needs two groups
+        CrashFault(node="", at=0.1),
+        CrashFault(node="s0/r0", at=0.2, restart_at=0.1),
+        ByzantineReplicaFault(node="s0/r0", behaviour="nope"),
+        ByzantineClientFault(behaviour="nope"),
+        ByzantineClientFault(behaviour="stall-late", count=0),
+    ],
+)
+def test_validation_rejects(bad):
+    with pytest.raises(FaultSpecError):
+        FaultSchedule(faults=(bad,)).validate()
+
+
+def test_from_dict_rejects_unknown_kind():
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_dict({"faults": [{"kind": "meteor-strike"}]})
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_dict({"faults": [{"kind": "link", "bogus_field": 1}]})
+    with pytest.raises(FaultSpecError):
+        FaultSchedule.from_json("not json")
+
+
+def test_partition_groups_survive_json_as_tuples():
+    schedule = FaultSchedule(
+        faults=(PartitionFault(groups=(("a", "b"), ("c",))),)
+    )
+    restored = FaultSchedule.from_json(schedule.to_json())
+    assert restored.partitions[0].groups == (("a", "b"), ("c",))
