@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -24,6 +24,13 @@ fault-smoke:
 
 fault-sweep:
 	python -m repro.faults sweep --seeds 25
+
+perf-smoke:
+	pytest benchmarks/perf_kernel.py -m perf_smoke -q -s
+
+perf-record:
+	python -m repro.perf record --out BENCH_PR3.json
+	python -m repro.perf record --out BENCH_PR3.json --quick
 
 examples:
 	python examples/quickstart.py

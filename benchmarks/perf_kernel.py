@@ -1,0 +1,62 @@
+"""Wall-clock perf-regression gate for the simulator kernel (PR 3).
+
+Run via ``make perf-smoke``: executes the quick perf suite from
+:mod:`repro.perf.harness` and fails if any bench's wall clock regressed
+more than 15% against the most recent recorded ``BENCH_*.json``.
+
+This file is intentionally *not* named ``test_*`` at module level for
+the default benchmark suite — it measures host wall-clock, not figure
+shapes, and only runs when selected explicitly (``-m perf_smoke`` or by
+path).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.perf.compare import compare_to_baseline, find_baseline
+from repro.perf.harness import run_all
+
+pytestmark = pytest.mark.perf_smoke
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def quick_entries():
+    return run_all(quick=True)
+
+
+@pytest.mark.perf_smoke
+def test_kernel_benches_complete(quick_entries):
+    """The suite itself is a functional smoke test of the kernel paths."""
+    names = {entry.bench for entry in quick_entries}
+    assert any(name.startswith("kernel-timers") for name in names)
+    assert any(name.startswith("kernel-tasks") for name in names)
+    assert any(name.startswith("kernel-queue") for name in names)
+    for entry in quick_entries:
+        assert entry.wall_s > 0.0
+        if entry.bench.startswith("kernel-"):
+            assert entry.events_per_s > 0.0
+
+
+@pytest.mark.perf_smoke
+def test_sim_throughput_is_deterministic(quick_entries):
+    """sim_tput is simulated-time output: re-running must reproduce it."""
+    again = {entry.bench: entry for entry in run_all(quick=True)}
+    for entry in quick_entries:
+        assert again[entry.bench].sim_tput == pytest.approx(entry.sim_tput)
+
+
+@pytest.mark.perf_smoke
+def test_no_wall_clock_regression(quick_entries):
+    baseline = find_baseline(REPO_ROOT)
+    if baseline is None:
+        pytest.skip("no BENCH_*.json baseline recorded yet")
+    regressions, report = compare_to_baseline(quick_entries, baseline)
+    print("\n".join(report))
+    assert not regressions, "wall-clock regression(s):\n" + "\n".join(
+        str(reg) for reg in regressions
+    )

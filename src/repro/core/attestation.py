@@ -23,7 +23,7 @@ from typing import Any, Union
 from repro.crypto.cost_model import CryptoContext
 from repro.crypto.digest import Digest, digest_of
 from repro.crypto.merkle import InclusionProof, verify_inclusion
-from repro.crypto.signatures import Signature, SignedMessage
+from repro.crypto.signatures import Signature, SignedMessage, payload_digest_of
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,22 @@ class BatchAttestation:
 
 
 Attestation = Union[SignedMessage, BatchAttestation]
+
+
+def _inclusion_ok(att: BatchAttestation) -> bool:
+    """Structural Merkle-inclusion check, memoized on the attestation.
+
+    The verdict is a pure function of the (frozen) attestation's contents,
+    so it is node-independent: once any node has walked the proof, every
+    later verification of the same object is one attribute read.  CPU
+    *charges* are the caller's business and are unaffected — this caches
+    only the structural computation, never the modeled cost.
+    """
+    ok = getattr(att, "_incl_memo", None)
+    if ok is None:
+        ok = verify_inclusion(digest_of(att.payload), att.proof, att.root)
+        object.__setattr__(att, "_incl_memo", ok)
+    return ok
 
 
 def attestation_payload(att: Attestation) -> Any:
@@ -72,7 +88,11 @@ class AttestationVerifier:
 
     async def verify(self, att: Attestation) -> bool:
         if isinstance(att, SignedMessage):
-            return await self.ctx.verify(att)
+            digest = payload_digest_of(att)
+            verdict = self.ctx.probe_verify(att.signature, digest)
+            if verdict is None:
+                verdict = await self.ctx.verify_digest(att.signature, digest)
+            return verdict
         return await self._verify_batched(att)
 
     async def verify_quorum(self, atts: list[Attestation]) -> bool:
@@ -87,8 +107,18 @@ class AttestationVerifier:
         if not atts:
             return False
         if not self.aggregate:
+            cfg = self.ctx.config
+            if cfg.enabled and cfg.batch_verify:
+                return await self._verify_quorum_batched(atts)
             for att in atts:
-                if not await self.verify(att):
+                if isinstance(att, SignedMessage):
+                    digest = payload_digest_of(att)
+                    verdict = self.ctx.probe_verify(att.signature, digest)
+                    if verdict is None:
+                        verdict = await self.ctx.verify_digest(att.signature, digest)
+                    if not verdict:
+                        return False
+                elif not await self._verify_batched(att):
                     return False
             return True
         ok = True
@@ -97,8 +127,7 @@ class AttestationVerifier:
                 if not self.ctx.registry.is_valid(att):
                     ok = False
             else:
-                payload_digest = digest_of(att.payload)
-                if not verify_inclusion(payload_digest, att.proof, att.root):
+                if not _inclusion_ok(att):
                     ok = False
                 try:
                     self.ctx.registry.verify_digest(att.root_signature, att.root)
@@ -108,18 +137,67 @@ class AttestationVerifier:
         await self.ctx.charge_verify()
         return ok
 
+    async def _verify_quorum_batched(self, atts: list[Attestation]) -> bool:
+        """One ed25519-style batch verification for a whole quorum.
+
+        Every member is still structurally verified (and the Merkle /
+        root-cache bookkeeping of :meth:`_verify_batched` still applies);
+        only the *charged* cost changes: hashes are charged as before, and
+        the signatures that were neither memoized nor root-cached are
+        charged as a single batch via
+        :meth:`~repro.crypto.cost_model.CryptoContext.charge_verify_batch`.
+        Unlike the aggregate path this is sound per-member, so it fails as
+        soon as any member is bad — matching the sequential path's verdict.
+        """
+        ok = True
+        fresh = 0
+        hash_count = 0
+        for att in atts:
+            if isinstance(att, SignedMessage):
+                verdict, memoized = self.ctx.peek_verify(
+                    att.signature, payload_digest_of(att)
+                )
+                if not memoized:
+                    fresh += 1
+                if not verdict:
+                    ok = False
+                    break
+                continue
+            hash_count += 1 + len(att.proof.path)
+            if not _inclusion_ok(att):
+                ok = False
+                break
+            cache_key = (att.root_signature.signer, att.root)
+            if cache_key in self._verified_roots:
+                self.cache_hits += 1
+                continue
+            verdict, memoized = self.ctx.peek_verify(att.root_signature, att.root)
+            if not memoized:
+                fresh += 1
+            if not verdict:
+                ok = False
+                break
+            self._verified_roots.add(cache_key)
+        if hash_count:
+            await self.ctx.charge_hash(64, count=hash_count)
+        if fresh:
+            await self.ctx.charge_verify_batch(fresh)
+        return ok
+
     async def _verify_batched(self, att: BatchAttestation) -> bool:
-        # Recompute the payload digest and walk the Merkle path: one hash
-        # per level plus one for the leaf.
-        payload_digest = digest_of(att.payload)
+        # The payload digest and Merkle path walk are charged as one hash
+        # per level plus one for the leaf; the structural result itself is
+        # memoized on the attestation (it is content-determined).
         await self.ctx.charge_hash(64, count=1 + len(att.proof.path))
-        if not verify_inclusion(payload_digest, att.proof, att.root):
+        if not _inclusion_ok(att):
             return False
         cache_key = (att.root_signature.signer, att.root)
         if cache_key in self._verified_roots:
             self.cache_hits += 1
             return True
-        ok = await self.ctx.verify_digest(att.root_signature, att.root)
+        ok = self.ctx.probe_verify(att.root_signature, att.root)
+        if ok is None:
+            ok = await self.ctx.verify_digest(att.root_signature, att.root)
         if ok:
             self._verified_roots.add(cache_key)
         return ok

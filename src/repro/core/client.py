@@ -576,7 +576,8 @@ class BasilClient(Node):
 
     def writeback(self, tx: TxRecord, cert: DecisionCert) -> None:
         """Sec 4.3: asynchronously broadcast the decision certificate."""
-        self.spawn(self.crypto.charge_request_sign(), name="wb-sign")
+        if self.crypto.config.authenticate_requests:
+            self.spawn(self.crypto.charge_request_sign(), name="wb-sign")
         message = WritebackRequest(cert=cert, tx=tx)
         for shard in self.sharder.shards_of_tx(tx):
             self.network.broadcast(self, self.sharder.members(shard), message)

@@ -37,12 +37,20 @@ class Sharder:
         self._members = tuple(
             tuple(replica_name(s, i) for i in range(self.n)) for s in range(self.num_shards)
         )
+        #: key -> shard placement memo; placement is a pure function of the
+        #: key and ``num_shards``, and workloads draw from a bounded key
+        #: space, so this stays small and saves re-encoding hot keys.
+        self._placement: dict[Any, int] = {}
 
     # -- key placement -----------------------------------------------------
     def shard_of(self, key: Any) -> int:
         if self.num_shards == 1:
             return 0
-        return zlib.crc32(canonical_encode(key)) % self.num_shards
+        shard = self._placement.get(key)
+        if shard is None:
+            shard = zlib.crc32(canonical_encode(key)) % self.num_shards
+            self._placement[key] = shard
+        return shard
 
     # -- membership ----------------------------------------------------------
     def members(self, shard: int) -> tuple[str, ...]:
@@ -70,7 +78,15 @@ class Sharder:
 
     # -- per-transaction decisions -------------------------------------------
     def shards_of_tx(self, tx: TxRecord) -> tuple[int, ...]:
-        return tuple(sorted({self.shard_of(k) for k in tx.keys}))
+        # Memoized on the (frozen) record, tagged with num_shards so a
+        # record shared across differently-sized topologies cannot observe
+        # a stale answer.
+        memo = getattr(tx, "_shards_memo", None)
+        if memo is not None and memo[0] == self.num_shards:
+            return memo[1]
+        involved = tuple(sorted({self.shard_of(k) for k in tx.keys}))
+        object.__setattr__(tx, "_shards_memo", (self.num_shards, involved))
+        return involved
 
     def s_log(self, tx: TxRecord) -> int:
         """The logging shard: deterministic in id_T among involved shards."""

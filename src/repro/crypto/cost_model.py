@@ -18,7 +18,14 @@ from typing import Any
 
 from repro.config import CryptoConfig
 from repro.crypto.digest import Digest, digest_of
-from repro.crypto.signatures import KeyRegistry, Signature, SignedMessage, SigningKey
+from repro.crypto.signatures import (
+    KeyRegistry,
+    Signature,
+    SignedMessage,
+    SigningKey,
+    payload_digest_of,
+)
+from repro.sim.loop import DONE, Future
 from repro.sim.node import Cpu
 
 
@@ -39,6 +46,18 @@ class CryptoContext:
         self.signatures_generated = 0
         self.signatures_verified = 0
         self.hashes_computed = 0
+        self.verify_memo_hits = 0
+        #: (signer, digest, token) -> verdict.  A signature this node has
+        #: already checked is not re-charged (models Basil's verification
+        #: cache for certificates that cross a node more than once).  The
+        #: token is part of the key so a forgery can never alias a real
+        #: signature's verdict.  None when memoization is off.
+        self._verify_memo: dict[tuple, bool] | None = (
+            {} if (config.enabled and config.verify_memo) else None
+        )
+        #: Pre-resolved cost of the overwhelmingly common 64-byte hash
+        #: charge (cost config is frozen, so this can never go stale).
+        self._hash64_cost = config.hash_cost(64)
 
     @property
     def name(self) -> str:
@@ -55,29 +74,93 @@ class CryptoContext:
         await self.charge_sign()
         return self.key.sign_digest(digest)
 
-    async def charge_sign(self) -> None:
+    def charge_sign(self) -> Future:
         self.signatures_generated += 1
         if self.config.enabled:
-            await self._traced_spend("sign", self.config.sign_cost)
+            return self._traced_spend("sign", self.config.sign_cost)
+        return DONE
 
     # -- verification -------------------------------------------------------
     async def verify(self, signed: SignedMessage) -> bool:
         """Verify a signed message, charging one signature verification."""
-        await self.charge_verify()
-        return self.registry.is_valid(signed)
+        return await self.verify_digest(signed.signature, payload_digest_of(signed))
 
     async def verify_digest(self, signature: Signature, digest: Digest) -> bool:
+        memo = self._verify_memo
+        if memo is not None:
+            key = (signature.signer, digest, signature.token)
+            verdict = memo.get(key)
+            if verdict is not None:
+                self.signatures_verified += 1
+                self.verify_memo_hits += 1
+                return verdict
         await self.charge_verify()
         try:
             self.registry.verify_digest(signature, digest)
+            verdict = True
         except Exception:  # CryptoError subclasses
-            return False
-        return True
+            verdict = False
+        if memo is not None:
+            memo[key] = verdict
+        return verdict
 
-    async def charge_verify(self) -> None:
+    def probe_verify(self, signature: Signature, digest: Digest) -> bool | None:
+        """Memo-only fast path: the cached verdict, or ``None`` on a miss.
+
+        A hit is indistinguishable from :meth:`verify_digest`'s memo-hit
+        branch (same counters, no CPU charge, no simulated events), but
+        costs the caller no coroutine or await.  Callers fall back to
+        ``await verify_digest(...)`` on ``None``.
+        """
+        memo = self._verify_memo
+        if memo is None:
+            return None
+        verdict = memo.get((signature.signer, digest, signature.token))
+        if verdict is not None:
+            self.signatures_verified += 1
+            self.verify_memo_hits += 1
+        return verdict
+
+    def peek_verify(self, signature: Signature, digest: Digest) -> tuple[bool, bool]:
+        """Structurally verify without charging CPU time.
+
+        Returns ``(verdict, was_memoized)``.  The caller is responsible
+        for charging the non-memoized checks — typically one
+        :meth:`charge_verify_batch` for a whole quorum.  Memo hits are
+        counted here; fresh checks are counted when charged.
+        """
+        memo = self._verify_memo
+        key = None
+        if memo is not None:
+            key = (signature.signer, digest, signature.token)
+            verdict = memo.get(key)
+            if verdict is not None:
+                self.signatures_verified += 1
+                self.verify_memo_hits += 1
+                return verdict, True
+        try:
+            self.registry.verify_digest(signature, digest)
+            verdict = True
+        except Exception:  # CryptoError subclasses
+            verdict = False
+        if memo is not None:
+            memo[key] = verdict
+        return verdict, False
+
+    def charge_verify(self) -> Future:
         self.signatures_verified += 1
         if self.config.enabled:
-            await self._traced_spend("verify", self.config.verify_cost)
+            return self._traced_spend("verify", self.config.verify_cost)
+        return DONE
+
+    def charge_verify_batch(self, count: int) -> Future:
+        """Charge ``count`` verifications at the batched (ed25519) rate."""
+        if count <= 0:
+            return DONE
+        self.signatures_verified += count
+        if self.config.enabled:
+            return self._traced_spend("verify", self.config.batch_verify_cost(count))
+        return DONE
 
     # -- request authentication ----------------------------------------------
     async def charge_request_sign(self) -> None:
@@ -97,16 +180,28 @@ class CryptoContext:
         await self.charge_hash(size_hint if size_hint is not None else 64)
         return digest
 
-    async def charge_hash(self, nbytes: int, count: int = 1) -> None:
+    def charge_hash(self, nbytes: int, count: int = 1) -> Future:
         self.hashes_computed += count
         if self.config.enabled:
-            await self._traced_spend("hash", self.config.hash_cost(nbytes) * count)
+            cost = (
+                self._hash64_cost if nbytes == 64 else self.config.hash_cost(nbytes)
+            )
+            return self._traced_spend("hash", cost * count)
+        return DONE
 
-    async def _traced_spend(self, op: str, cost: float) -> None:
-        """Charge ``cost`` to the CPU, wrapped in a crypto span if tracing."""
+    def _traced_spend(self, op: str, cost: float):
+        """Charge ``cost`` to the CPU, wrapped in a crypto span if tracing.
+
+        Untraced (the common case for benchmarks): returns the CPU charge
+        future directly — no coroutine frame.  Traced: a coroutine holding
+        a ``with`` span, so cancellation mid-charge still records the
+        truncated span, exactly as before.
+        """
+        if not self.cpu.sim.tracer.enabled:
+            return self.cpu.spend(cost)
+        return self._traced_spend_span(op, cost)
+
+    async def _traced_spend_span(self, op: str, cost: float) -> None:
         tracer = self.cpu.sim.tracer
-        if tracer.enabled:
-            with tracer.span(self.cpu.owner, "crypto", op, cost=cost):
-                await self.cpu.spend(cost)
-        else:
+        with tracer.span(self.cpu.owner, "crypto", op, cost=cost):
             await self.cpu.spend(cost)

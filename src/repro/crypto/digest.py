@@ -78,13 +78,21 @@ def _encode_into(obj: Any, out: bytearray) -> None:
         out += b"e%d:" % len(entries)
         for entry in entries:
             out += entry
-    elif hasattr(obj, "canonical_fields") or (
-        dataclasses.is_dataclass(obj) and not isinstance(obj, type)
-    ):
-        out += b"h"
-        out += _object_digest(obj)
     else:
-        raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
+        # Message-object branch.  Check the digest memo first: shared
+        # protocol structures (certificates, votes) are re-encoded
+        # constantly, and after the first encode this is one getattr.
+        memo = getattr(obj, "_digest_memo", None)
+        if memo is not None:
+            out += b"h"
+            out += memo
+        elif hasattr(obj, "canonical_fields") or (
+            dataclasses.is_dataclass(obj) and not isinstance(obj, type)
+        ):
+            out += b"h"
+            out += _object_digest(obj)
+        else:
+            raise TypeError(f"cannot canonically encode {type(obj).__name__}: {obj!r}")
 
 
 def _object_digest(obj: Any) -> Digest:
@@ -113,6 +121,9 @@ def _object_digest(obj: Any) -> Digest:
 
 def digest_of(obj: Any) -> Digest:
     """SHA-256 digest of the canonical encoding of ``obj``."""
+    memo = getattr(obj, "_digest_memo", None)
+    if memo is not None:
+        return memo
     if hasattr(obj, "canonical_fields") or (
         dataclasses.is_dataclass(obj) and not isinstance(obj, type)
     ):

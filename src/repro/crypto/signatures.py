@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.crypto.digest import Digest, digest_of
 from repro.errors import CryptoError, ForgeryError
@@ -79,6 +79,21 @@ class SignedMessage:
         return (self.payload, self.signature)
 
 
+def payload_digest_of(signed: SignedMessage) -> Digest:
+    """Digest of a signed message's payload, memoized on the wrapper.
+
+    Payloads are often plain tuples (which cannot carry a digest memo of
+    their own), but the immutable ``SignedMessage`` wrapper can: the same
+    signed reply is re-verified by every node a certificate crosses, and
+    only the first verification pays for the canonical encoding.
+    """
+    digest = getattr(signed, "_payload_digest", None)
+    if digest is None:
+        digest = digest_of(signed.payload)
+        object.__setattr__(signed, "_payload_digest", digest)
+    return digest
+
+
 class KeyRegistry:
     """The system's PKI: issues keys and verifies signatures.
 
@@ -103,7 +118,7 @@ class KeyRegistry:
 
     def verify(self, signed: SignedMessage) -> None:
         """Raise :class:`ForgeryError`/:class:`CryptoError` unless valid."""
-        self.verify_digest(signed.signature, digest_of(signed.payload))
+        self.verify_digest(signed.signature, payload_digest_of(signed))
 
     def verify_digest(self, signature: Signature, digest: Digest) -> None:
         expected = self._tokens.get(signature.signer)
@@ -121,3 +136,22 @@ class KeyRegistry:
         except CryptoError:
             return False
         return True
+
+    def verify_many(self, pairs: Iterable[tuple[Signature, Digest]]) -> list[bool]:
+        """Structurally verify a batch of (signature, digest) pairs.
+
+        Mirrors the ed25519 batch-verification API: one call, per-item
+        verdicts.  Unlike real batch verification (which only yields a
+        single accept/reject and needs a fallback pass to attribute
+        failures), the structural scheme identifies the failing member
+        directly, so the returned list is exact.  Cost is charged
+        separately by :meth:`repro.crypto.cost_model.CryptoContext.charge_verify_batch`.
+        """
+        verdicts: list[bool] = []
+        for signature, digest in pairs:
+            try:
+                self.verify_digest(signature, digest)
+                verdicts.append(True)
+            except CryptoError:
+                verdicts.append(False)
+        return verdicts

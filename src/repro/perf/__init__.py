@@ -1,0 +1,30 @@
+"""Wall-clock performance harness for the simulator itself.
+
+Everything else in this repo measures *simulated* time; this package
+measures how fast the simulator runs on the host.  It exists to lock in
+the kernel hot-path work: `python -m repro.perf record` writes a
+``BENCH_*.json`` baseline, and `python -m repro.perf check` (or
+``make perf-smoke``) re-runs the suite and fails on a >15% wall-clock
+regression against the most recent recorded baseline.
+
+Schema of a ``BENCH_*.json`` entry::
+
+    {"bench": "<name>", "wall_s": <float>, "events_per_s": <float>,
+     "sim_tput": <float>}
+
+``events_per_s`` is kernel events processed per wall-clock second (the
+number the kernel overhaul optimizes); ``sim_tput`` is the benchmark's
+*simulated* committed-transactions-per-simulated-second (a determinism
+canary: it must not drift when only wall-clock performance changes).
+"""
+
+from repro.perf.harness import BenchEntry, run_all, write_results
+from repro.perf.compare import compare_to_baseline, find_baseline
+
+__all__ = [
+    "BenchEntry",
+    "run_all",
+    "write_results",
+    "compare_to_baseline",
+    "find_baseline",
+]

@@ -1,0 +1,72 @@
+"""CLI: ``python -m repro.perf record|check``.
+
+* ``record [--out BENCH_PR3.json] [--quick]`` — run the suite and write
+  a baseline file (quick mode appends quick entries to the same file if
+  it exists, so one file can hold both scales).
+* ``check [--quick] [--threshold 0.15]`` — run the suite and compare
+  against the most recent ``BENCH_*.json``; exit 1 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.perf.compare import DEFAULT_THRESHOLD, compare_to_baseline, find_baseline
+from repro.perf.harness import run_all, write_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.perf")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    rec = sub.add_parser("record", help="run the suite and write a baseline")
+    rec.add_argument("--out", default="BENCH_PR3.json")
+    rec.add_argument("--quick", action="store_true")
+
+    chk = sub.add_parser("check", help="run the suite and gate on the baseline")
+    chk.add_argument("--quick", action="store_true")
+    chk.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    chk.add_argument("--baseline", default=None, help="explicit BENCH_*.json path")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "record":
+        entries = run_all(quick=args.quick)
+        if args.quick and os.path.exists(args.out):
+            # Merge quick entries into an existing (full) baseline.
+            with open(args.out) as fh:
+                existing = {e["bench"]: e for e in json.load(fh)}
+            for entry in entries:
+                existing[entry.bench] = entry.to_dict()
+            with open(args.out, "w") as fh:
+                json.dump(list(existing.values()), fh, indent=2)
+                fh.write("\n")
+        else:
+            write_results(args.out, entries)
+        for entry in entries:
+            print(
+                f"{entry.bench:<24} wall {entry.wall_s:7.3f}s  "
+                f"{entry.events_per_s:>12,.0f} events/s  sim_tput {entry.sim_tput:,.0f}"
+            )
+        print(f"wrote {args.out}")
+        return 0
+
+    baseline = args.baseline or find_baseline(os.getcwd())
+    if baseline is None:
+        print("no BENCH_*.json baseline found; run `python -m repro.perf record` first")
+        return 1
+    entries = run_all(quick=args.quick)
+    regressions, report = compare_to_baseline(entries, baseline, args.threshold)
+    print("\n".join(report))
+    if regressions:
+        print(f"{len(regressions)} wall-clock regression(s) beyond threshold")
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

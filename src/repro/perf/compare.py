@@ -1,0 +1,92 @@
+"""Compare a fresh perf run against the last recorded ``BENCH_*.json``.
+
+The contract (ISSUE 3): ``make perf-smoke`` fails when any benchmark's
+wall clock regresses by more than the threshold (default 15%) against
+the most recently recorded baseline.  Only benches present in both runs
+are compared — quick and full suites use disjoint bench names, and a
+baseline recorded before a benchmark existed simply doesn't gate it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+
+from repro.perf.harness import BenchEntry
+
+#: Default allowed wall-clock slowdown before the check fails.
+DEFAULT_THRESHOLD = 0.15
+
+_BENCH_FILE = re.compile(r"^BENCH_(\w+)\.json$")
+
+
+def find_baseline(root: str) -> str | None:
+    """Path of the most recently recorded ``BENCH_*.json`` under ``root``.
+
+    "Most recent" prefers the highest PR number in the filename
+    (BENCH_PR4 beats BENCH_PR3), falling back to modification time for
+    names without one — so re-running an old baseline never shadows a
+    newer PR's numbers.
+    """
+    candidates = []
+    for entry in os.listdir(root):
+        match = _BENCH_FILE.match(entry)
+        if not match:
+            continue
+        path = os.path.join(root, entry)
+        tag = match.group(1)
+        pr_match = re.search(r"PR(\d+)", tag)
+        pr_rank = int(pr_match.group(1)) if pr_match else -1
+        candidates.append((pr_rank, os.path.getmtime(path), path))
+    if not candidates:
+        return None
+    return max(candidates)[2]
+
+
+def load_entries(path: str) -> dict[str, dict]:
+    with open(path) as fh:
+        data = json.load(fh)
+    return {entry["bench"]: entry for entry in data}
+
+
+@dataclass
+class Regression:
+    bench: str
+    baseline_wall_s: float
+    current_wall_s: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.baseline_wall_s <= 0:
+            return 0.0
+        return self.current_wall_s / self.baseline_wall_s - 1.0
+
+    def __str__(self) -> str:
+        return (
+            f"{self.bench}: {self.baseline_wall_s:.3f}s -> "
+            f"{self.current_wall_s:.3f}s ({self.slowdown * 100:+.1f}%)"
+        )
+
+
+def compare_to_baseline(
+    current: list[BenchEntry],
+    baseline_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[Regression], list[str]]:
+    """Return (regressions beyond threshold, human-readable report lines)."""
+    baseline = load_entries(baseline_path)
+    regressions: list[Regression] = []
+    report: list[str] = [f"baseline: {baseline_path} (threshold {threshold * 100:.0f}%)"]
+    for entry in current:
+        base = baseline.get(entry.bench)
+        if base is None:
+            report.append(f"  {entry.bench}: no baseline entry, skipped")
+            continue
+        reg = Regression(entry.bench, base["wall_s"], entry.wall_s)
+        marker = "REGRESSION" if reg.slowdown > threshold else "ok"
+        report.append(f"  {reg}  [{marker}]")
+        if reg.slowdown > threshold:
+            regressions.append(reg)
+    return regressions, report

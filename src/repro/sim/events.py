@@ -10,7 +10,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from repro.sim.loop import Future, Simulator
+from repro.sim.loop import CancelledError, Future, Simulator
 
 
 class Semaphore:
@@ -67,13 +67,31 @@ class Queue:
             return
         self._items.append(item)
 
-    def get(self) -> Future:
-        fut = Future()
+    async def get(self) -> Any:
+        """Suspend until an item is available, then return it.
+
+        ``get`` is a coroutine (not a bare future) so that
+        ``sim.wait_for(queue.get(), t)`` wraps it in a task the combinator
+        owns: on timeout the task is cancelled and the handler below
+        *withdraws* the reservation, instead of leaving a poisoned getter
+        in line that would eat the next ``put``.
+        """
         if self._items:
-            fut.set_result(self._items.popleft())
-        else:
-            self._getters.append(fut)
-        return fut
+            return self._items.popleft()
+        fut = Future()
+        self._getters.append(fut)
+        try:
+            return await fut
+        except CancelledError:
+            # Abandoned before an item arrived (wakeups are synchronous,
+            # so a resolved getter can never be cancelled): take the
+            # reservation back out of line so put() never targets it.
+            if not fut.done():
+                try:
+                    self._getters.remove(fut)
+                except ValueError:
+                    pass
+            raise
 
 
 class Signal:

@@ -9,18 +9,46 @@ one OS thread on simulated time.
 Determinism: events fire in (time, sequence-number) order, where sequence
 numbers are assigned at scheduling time.  Two runs with the same seed and
 the same code produce byte-identical histories.
+
+Execution model (see docs/simulation.md for the full contract):
+
+* Completion is *synchronous*: ``set_result`` runs waiter callbacks before
+  it returns, so a wakeup cascade is depth-first — exactly the order the
+  recursive kernel produced.  To keep deep chains of completed futures
+  from blowing the Python stack, the cascade depth is bounded; past
+  ``_CASCADE_LIMIT`` nested completions the remaining wakeups spill into a
+  FIFO drained by the outermost frame.  Protocol runs stay far below the
+  limit (asserted by the golden-digest test), so the spill never engages
+  there and schedules are byte-identical to the pre-rewrite kernel.
+* Within one task, ``Task._step`` is an iterative loop: a coroutine that
+  awaits an already-completed future resumes in the same frame instead of
+  re-entering ``_step`` through the callback chain.
+* Timer cancellation is O(1): the heap entry is tombstoned (callback and
+  args dropped immediately) and skipped at pop time; when tombstones
+  dominate, the heap is compacted in one linear pass.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+from collections import deque
 from typing import Any, Awaitable, Callable, Coroutine, Generator, Iterable
 
 from repro.errors import SimTimeoutError, SimulationError
 from repro.trace.tracer import NULL_TRACER
 
 _PENDING = object()
+
+#: Maximum depth of nested synchronous completion cascades.  Real protocol
+#: cascades are bounded by what a single node does within one delivered
+#: message (< ~10 levels); the limit only engages on pathological chains
+#: (e.g. 10k tasks each awaiting the previous one's result), which would
+#: previously raise RecursionError.
+_CASCADE_LIMIT = 64
+
+_cascade_depth = 0
+_spilled: deque[tuple["Future", list[Callable[["Future"], None]]]] = deque()
 
 
 class CancelledError(Exception):
@@ -35,7 +63,9 @@ class Future:
     def __init__(self) -> None:
         self._result: Any = _PENDING
         self._exception: BaseException | None = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        #: None, a bare callable (the dominant single-waiter case — no
+        #: list allocation), or a list of callables.
+        self._callbacks: Any = None
         self._cancelled = False
 
     def done(self) -> bool:
@@ -55,16 +85,18 @@ class Future:
         return self._exception
 
     def set_result(self, value: Any) -> None:
-        if self.done():
+        if self._result is not _PENDING or self._exception is not None:
             raise SimulationError("future already completed")
         self._result = value
-        self._run_callbacks()
+        if self._callbacks is not None:
+            self._run_callbacks()
 
     def set_exception(self, exc: BaseException) -> None:
-        if self.done():
+        if self._result is not _PENDING or self._exception is not None:
             raise SimulationError("future already completed")
         self._exception = exc
-        self._run_callbacks()
+        if self._callbacks is not None:
+            self._run_callbacks()
 
     def cancel(self) -> bool:
         """Complete the future with :class:`CancelledError` if still pending."""
@@ -75,20 +107,77 @@ class Future:
         return True
 
     def add_done_callback(self, fn: Callable[["Future"], None]) -> None:
-        if self.done():
+        if self._result is not _PENDING or self._exception is not None:
             fn(self)
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = fn
+        elif type(callbacks) is list:
+            callbacks.append(fn)
         else:
-            self._callbacks.append(fn)
+            self._callbacks = [callbacks, fn]
+
+    def remove_done_callback(self, fn: Callable[["Future"], None]) -> int:
+        """Detach ``fn``; returns how many registrations were removed."""
+        callbacks = self._callbacks
+        if callbacks is None:
+            return 0
+        if type(callbacks) is not list:
+            if callbacks is fn:
+                self._callbacks = None
+                return 1
+            return 0
+        kept = [cb for cb in callbacks if cb is not fn]
+        removed = len(callbacks) - len(kept)
+        self._callbacks = kept or None
+        return removed
 
     def _run_callbacks(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        global _cascade_depth
+        callbacks = self._callbacks
+        self._callbacks = None
+        if _cascade_depth >= _CASCADE_LIMIT:
+            # Too deep to run synchronously: spill to the outermost frame.
+            # FIFO drain preserves the depth-first order for linear chains;
+            # protocol runs never reach this depth (golden-digest test).
+            _spilled.append((self, callbacks))
+            return
+        _cascade_depth += 1
+        try:
+            if type(callbacks) is list:
+                for fn in callbacks:
+                    fn(self)
+            else:
+                callbacks(self)
+            if _cascade_depth == 1:
+                while _spilled:
+                    fut, spilled_cbs = _spilled.popleft()
+                    if type(spilled_cbs) is list:
+                        for fn in spilled_cbs:
+                            fn(fut)
+                    else:
+                        spilled_cbs(fut)
+        finally:
+            _cascade_depth -= 1
 
     def __await__(self) -> Generator["Future", None, Any]:
-        if not self.done():
+        # Inlined done()/result(): this runs for every await in the sim.
+        if self._result is _PENDING and self._exception is None:
             yield self
-        return self.result()
+        exc = self._exception
+        if exc is not None:
+            raise exc
+        if self._result is _PENDING:
+            raise SimulationError("future result accessed before completion")
+        return self._result
+
+
+#: A pre-completed future: ``await DONE`` resumes immediately without
+#: yielding to the loop.  Shared safely — a done future never registers
+#: callbacks.  Used for zero-cost charges (e.g. crypto disabled).
+DONE = Future()
+DONE.set_result(None)
 
 
 class Task(Future):
@@ -97,12 +186,13 @@ class Task(Future):
     The task completes with the coroutine's return value (or exception).
     """
 
-    __slots__ = ("_coro", "_sim", "name")
+    __slots__ = ("_coro", "_sim", "_wake", "name")
 
     def __init__(self, sim: "Simulator", coro: Coroutine[Any, Any, Any], name: str = "") -> None:
         super().__init__()
         self._coro = coro
         self._sim = sim
+        self._wake = self._wakeup  # bind once; attached on every suspend
         self.name = name or getattr(coro, "__name__", "task")
         self._step(None, None)
 
@@ -120,47 +210,81 @@ class Task(Future):
         return True
 
     def _step(self, value: Any, exc: BaseException | None) -> None:
-        if self.done():
+        if self._result is not _PENDING or self._exception is not None:
             return
-        try:
-            if exc is not None:
-                awaited = self._coro.throw(exc)
-            else:
-                awaited = self._coro.send(value)
-        except StopIteration as stop:
-            self.set_result(stop.value)
-            return
-        except CancelledError as err:
-            self._cancelled = True
-            self.set_exception(err)
-            return
-        except BaseException as err:  # noqa: BLE001 - surfaced via the task
-            self.set_exception(err)
-            return
-        if not isinstance(awaited, Future):
-            raise SimulationError(
-                f"sim coroutines may only await sim futures, got {awaited!r}"
-            )
-        awaited.add_done_callback(self._wakeup)
+        coro = self._coro
+        # Iterative trampoline: an awaited future that is already complete
+        # resumes the coroutine in this same frame instead of recursing
+        # through add_done_callback -> _wakeup -> _step.
+        while True:
+            try:
+                if exc is not None:
+                    awaited = coro.throw(exc)
+                else:
+                    awaited = coro.send(value)
+            except StopIteration as stop:
+                self.set_result(stop.value)
+                return
+            except CancelledError as err:
+                self._cancelled = True
+                self.set_exception(err)
+                return
+            except BaseException as err:  # noqa: BLE001 - surfaced via the task
+                self.set_exception(err)
+                return
+            if not isinstance(awaited, Future):
+                raise SimulationError(
+                    f"sim coroutines may only await sim futures, got {awaited!r}"
+                )
+            if awaited._result is _PENDING and awaited._exception is None:
+                awaited.add_done_callback(self._wake)
+                return
+            exc = awaited._exception
+            value = awaited._result if exc is None else None
 
     def _wakeup(self, fut: Future) -> None:
-        if fut.exception() is not None:
-            self._step(None, fut.exception())
+        exc = fut._exception
+        if exc is not None:
+            self._step(None, exc)
         else:
-            self._step(fut.result(), None)
+            self._step(fut._result, None)
 
 
 class EventHandle:
-    """A cancellable scheduled callback."""
+    """A cancellable scheduled callback (a slotted heap record).
 
-    __slots__ = ("_cancelled", "when")
+    The handle *is* the event record: the heap stores ``(when, seq,
+    handle)`` and the callback and its arguments live in slots here.
+    Cancellation tombstones the record in O(1) — the callback reference is
+    dropped immediately and the entry is skipped when it reaches the top
+    of the heap (or removed wholesale by compaction).
+    """
 
-    def __init__(self, when: float) -> None:
+    __slots__ = ("when", "_fn", "_args", "_cancelled", "_sim")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        when: float,
+        fn: Callable[..., None],
+        args: tuple,
+    ) -> None:
         self.when = when
+        self._fn: Callable[..., None] | None = fn
+        self._args: tuple | None = args
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
+        if self._cancelled or self._fn is None:  # already cancelled or fired
+            return
         self._cancelled = True
+        self._fn = None
+        self._args = None
+        sim = self._sim
+        sim._tombstones += 1
+        if sim._tombstones > 64 and sim._tombstones * 2 > len(sim._queue):
+            sim._compact()
 
     @property
     def cancelled(self) -> bool:
@@ -173,9 +297,10 @@ class Simulator:
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
         self.seed = seed
-        self._queue: list[tuple[float, int, EventHandle, Callable[..., None], tuple]] = []
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_processed = 0
+        self._tombstones = 0
         self._rngs: dict[str, random.Random] = {}
         #: Observability hook; NULL_TRACER records nothing and costs one
         #: attribute read per instrumented site (see repro.trace).
@@ -205,14 +330,22 @@ class Simulator:
         """Schedule ``fn(*args)`` at absolute simulated time ``when``."""
         if when < self.now:
             raise SimulationError(f"cannot schedule into the past ({when} < {self.now})")
-        handle = EventHandle(when)
-        heapq.heappush(self._queue, (when, self._seq, handle, fn, args))
+        handle = EventHandle(self, when, fn, args)
+        heapq.heappush(self._queue, (when, self._seq, handle))
         self._seq += 1
         return handle
 
     def call_later(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` after ``delay`` simulated seconds."""
-        return self.call_at(self.now + max(0.0, delay), fn, *args)
+        # Inlined call_at without the past-check (now + max(0, delay) can
+        # never be in the past): this is called for every timer, sleep,
+        # and CPU charge in the sim.
+        now = self.now
+        when = now + delay if delay > 0.0 else now
+        handle = EventHandle(self, when, fn, args)
+        heapq.heappush(self._queue, (when, self._seq, handle))
+        self._seq += 1
+        return handle
 
     def create_task(self, coro: Coroutine[Any, Any, Any], name: str = "") -> Task:
         """Start driving a coroutine immediately (first step runs inline)."""
@@ -229,32 +362,54 @@ class Simulator:
         if not fut.done():
             fut.set_result(None)
 
+    def _compact(self) -> None:
+        """Drop tombstoned entries and restore the heap invariant.
+
+        (when, seq) is a total order (seq is unique), so heapify after
+        filtering pops the survivors in exactly the same order as lazy
+        deletion would — compaction never perturbs a schedule.
+        """
+        self._queue[:] = [entry for entry in self._queue if entry[2]._fn is not None]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
     # ------------------------------------------------------------------
     # Combinators
     # ------------------------------------------------------------------
     def wait_for(self, awaitable: Awaitable[Any], timeout: float) -> Future:
-        """Await with a deadline; raises :class:`SimTimeoutError` on expiry."""
+        """Await with a deadline; raises :class:`SimTimeoutError` on expiry.
+
+        On timeout, the inner future/task is cancelled only if this
+        combinator created it (i.e. ``awaitable`` was a coroutine).  A bare
+        :class:`Future` passed in may be shared with other waiters, so it is
+        left untouched — the combinator merely detaches its callback.
+        """
+        created = not isinstance(awaitable, Future)
         inner = self.ensure_future(awaitable)
         outer = Future()
-        timer = self.call_later(timeout, self._expire, inner, outer, timeout)
 
         def _done(fut: Future) -> None:
             timer.cancel()
             if outer.done():
                 return
-            if fut.exception() is not None:
-                outer.set_exception(fut.exception())
+            exc = fut.exception()
+            if exc is not None:
+                outer.set_exception(exc)
             else:
                 outer.set_result(fut.result())
 
+        def _expire() -> None:
+            if outer.done():
+                return
+            outer.set_exception(SimTimeoutError(f"timed out after {timeout}s"))
+            if created:
+                inner.cancel()
+            else:
+                inner.remove_done_callback(_done)
+
+        timer = self.call_later(timeout, _expire)
         inner.add_done_callback(_done)
         return outer
-
-    @staticmethod
-    def _expire(inner: Future, outer: Future, timeout: float) -> None:
-        if not outer.done():
-            outer.set_exception(SimTimeoutError(f"timed out after {timeout}s"))
-            inner.cancel()
 
     def ensure_future(self, awaitable: Awaitable[Any]) -> Future:
         """Wrap any awaitable into a sim Future/Task."""
@@ -262,12 +417,33 @@ class Simulator:
             return awaitable
         return self.create_task(awaitable)  # type: ignore[arg-type]
 
-    def gather(self, awaitables: Iterable[Awaitable[Any]]) -> Future:
+    def gather(
+        self,
+        awaitables: Iterable[Awaitable[Any]],
+        return_exceptions: bool = False,
+    ) -> Future:
         """Await all; resolves with the list of results, in order.
 
-        Fails fast with the first exception raised by any member.
+        With ``return_exceptions=False`` (default) the first member
+        exception fails the gather immediately, and any still-pending
+        tasks *this combinator created* (members passed as coroutines) are
+        cancelled so they cannot keep mutating protocol state behind the
+        caller's back.  Bare futures passed in are shared with their
+        owners and are never cancelled.
+
+        With ``return_exceptions=True`` exceptions are collected into the
+        result list in place of values and the gather always waits for
+        every member — the mode fault-campaign code wants.
         """
-        futures = [self.ensure_future(a) for a in awaitables]
+        futures: list[Future] = []
+        created: list[bool] = []
+        for a in awaitables:
+            if isinstance(a, Future):
+                futures.append(a)
+                created.append(False)
+            else:
+                futures.append(self.create_task(a))  # type: ignore[arg-type]
+                created.append(True)
         result = Future()
         remaining = len(futures)
         if remaining == 0:
@@ -279,10 +455,14 @@ class Simulator:
             nonlocal remaining
             if result.done():
                 return
-            if fut.exception() is not None:
-                result.set_exception(fut.exception())
+            exc = fut.exception()
+            if exc is not None and not return_exceptions:
+                result.set_exception(exc)
+                for j, member in enumerate(futures):
+                    if created[j] and not member.done():
+                        member.cancel()
                 return
-            values[index] = fut.result()
+            values[index] = exc if exc is not None else fut.result()
             remaining -= 1
             if remaining == 0:
                 result.set_result(values)
@@ -299,19 +479,31 @@ class Simulator:
         return self._events_processed
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
-        """Process events until the queue drains, ``until``, or ``max_events``."""
-        while self._queue:
-            when, _seq, handle, fn, args = self._queue[0]
+        """Process events until the queue drains, ``until``, or ``max_events``.
+
+        The ``max_events`` budget is checked *before* an event is popped:
+        on exhaustion the offending event stays queued, so a caller that
+        catches :class:`SimulationError` and resumes loses nothing.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        while queue:
+            when, _seq, ev = queue[0]
             if until is not None and when > until:
                 self.now = max(self.now, until)
                 return
-            heapq.heappop(self._queue)
-            if handle.cancelled:
+            fn = ev._fn
+            if fn is None:  # tombstoned (cancelled) timer
+                pop(queue)
                 continue
+            if max_events is not None and self._events_processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            pop(queue)
+            args = ev._args
+            ev._fn = None  # mark fired; a late cancel() becomes a no-op
+            ev._args = None
             self.now = when
             self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
             fn(*args)
         if until is not None:
             self.now = max(self.now, until)
@@ -319,17 +511,25 @@ class Simulator:
     def run_until_complete(self, awaitable: Awaitable[Any], max_events: int | None = None) -> Any:
         """Drive the loop until ``awaitable`` completes; return its result."""
         fut = self.ensure_future(awaitable)
+        queue = self._queue
+        pop = heapq.heappop
         while not fut.done():
-            if not self._queue:
+            if not queue:
                 raise SimulationError(
                     "deadlock: event queue drained but awaited future is pending"
                 )
-            when, _seq, handle, fn, args = heapq.heappop(self._queue)
-            if handle.cancelled:
+            when, _seq, ev = queue[0]
+            fn = ev._fn
+            if fn is None:
+                pop(queue)
                 continue
+            if max_events is not None and self._events_processed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            pop(queue)
+            args = ev._args
+            ev._fn = None
+            ev._args = None
             self.now = when
             self._events_processed += 1
-            if max_events is not None and self._events_processed > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
             fn(*args)
         return fut.result()

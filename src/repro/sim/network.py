@@ -99,7 +99,8 @@ class Network:
             return
         src.messages_sent += 1
         tracer = self.sim.tracer
-        if self.config.drop_rate and self._rng.random() < self.config.drop_rate:
+        config = self.config
+        if config.drop_rate and self._rng.random() < config.drop_rate:
             self.messages_dropped += 1
             if tracer.enabled:
                 tracer.instant(
@@ -107,7 +108,12 @@ class Network:
                     dst=dst, msg=type(message).__name__, reason="drop_rate",
                 )
             return
-        delay = self.adversary.intercept(src.name, dst, message, self.sample_latency())
+        # Inlined sample_latency(): send is the second-hottest call in the
+        # sim and the RNG draw order here is part of the determinism contract.
+        base = config.one_way_latency
+        if config.jitter:
+            base += self._rng.uniform(0.0, config.jitter)
+        delay = self.adversary.intercept(src.name, dst, message, base)
         if delay is None:
             self.messages_dropped += 1
             if tracer.enabled:

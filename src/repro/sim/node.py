@@ -11,9 +11,10 @@ from __future__ import annotations
 
 from typing import Any, Coroutine
 
+from collections import deque
+
 from repro.config import NodeConfig
-from repro.sim.events import Semaphore
-from repro.sim.loop import Simulator, Task
+from repro.sim.loop import DONE, Future, Simulator, Task
 
 
 class Cpu:
@@ -22,37 +23,60 @@ class Cpu:
     ``owner`` labels this CPU's trace events with the owning node's name.
     """
 
+    __slots__ = ("sim", "cores", "owner", "_free", "_pending", "busy_time")
+
     def __init__(self, sim: Simulator, cores: int, owner: str = "") -> None:
+        if cores < 1:
+            raise ValueError("cpu needs at least one core")
         self.sim = sim
         self.cores = cores
         self.owner = owner
-        self._sem = Semaphore(sim, cores)
+        self._free = cores
+        #: FIFO of (future, cost, enqueued) work items waiting for a core.
+        self._pending: deque[tuple[Future, float, float]] = deque()
         self.busy_time = 0.0
 
-    async def spend(self, cost: float) -> None:
-        """Occupy one core for ``cost`` simulated seconds (queueing FIFO)."""
+    def spend(self, cost: float) -> Future:
+        """Awaitable: occupy one core for ``cost`` simulated seconds (FIFO).
+
+        This is the hottest call in the simulation (every crypto charge and
+        message overhead lands here), so it is a plain callback chain — no
+        coroutine frame, no semaphore handshake.  The completion order
+        matches the old coroutine implementation exactly: when the
+        core-occupancy timer fires, the next queued work item is started
+        (its timer scheduled) *before* the finished caller's future
+        resolves.
+        """
         if cost <= 0.0:
-            return
-        tracer = self.sim.tracer
-        enqueued = self.sim.now if tracer.enabled else 0.0
-        # Uncontended fast path: grab a free core without allocating the
-        # semaphore's wait future (this is the hottest call in the sim).
-        sem = self._sem
-        if sem._value > 0 and not sem._waiters:
-            sem._value -= 1
-        else:
-            await sem.acquire()
-        try:
+            return DONE
+        sim = self.sim
+        enqueued = sim.now if sim.tracer.enabled else 0.0
+        fut = Future()
+        if self._free > 0 and not self._pending:
+            self._free -= 1
             self.busy_time += cost
-            await self.sim.sleep(cost)
-        finally:
-            sem.release()
+            sim.call_later(cost, self._finish, fut, cost, enqueued)
+        else:
+            self._pending.append((fut, cost, enqueued))
+        return fut
+
+    def _finish(self, fut: Future, cost: float, enqueued: float) -> None:
+        pending = self._pending
+        if pending:
+            nfut, ncost, nenq = pending.popleft()
+            self.busy_time += ncost
+            self.sim.call_later(ncost, self._finish, nfut, ncost, nenq)
+        else:
+            self._free += 1
+        sim = self.sim
+        tracer = sim.tracer
         if tracer.enabled:
-            end = self.sim.now
+            end = sim.now
             tracer.complete(
                 self.owner, "cpu", "work", enqueued, end,
                 cost=cost, queued=end - cost - enqueued,
             )
+        fut.set_result(None)
 
     def utilization(self, elapsed: float) -> float:
         """Fraction of aggregate core-time spent busy over ``elapsed``."""
@@ -85,6 +109,7 @@ class Node:
         #: Live tasks owned by this node; cancelled wholesale on crash so
         #: no stale callback of a dead node fires into the event loop.
         self._tasks: set[Task] = set()
+        self._handler_name = f"{name}/handle"  # built once, not per message
 
     # -- local clock ----------------------------------------------------
     @property
@@ -98,7 +123,7 @@ class Node:
         if self.crashed:
             return
         self.messages_received += 1
-        self.spawn(self._handle(sender, message), name=f"{self.name}/handle")
+        self.spawn(self._handle(sender, message), name=self._handler_name)
 
     async def _handle(self, sender: str, message: Any) -> None:
         overhead = self.node_config.message_overhead

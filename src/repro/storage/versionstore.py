@@ -92,7 +92,11 @@ class VersionStore(Generic[TS]):
         """
         state = self._state(key)
         version = Version(key, timestamp, value, writer, VersionStatus.COMMITTED)
-        idx = bisect.bisect_left(state.committed, timestamp, key=lambda e: e[0])
+        # Chains hold (timestamp, Version) pairs; probing with the 1-tuple
+        # ``(timestamp,)`` bisects on the timestamp alone (a shorter tuple
+        # sorts before any equal-prefix longer one) without a per-probe
+        # ``key=`` callable — these run on every read and MVTSO check.
+        idx = bisect.bisect_left(state.committed, (timestamp,))
         if idx < len(state.committed) and state.committed[idx][0] == timestamp:
             existing = state.committed[idx][1]
             if existing.writer != writer:
@@ -110,7 +114,7 @@ class VersionStore(Generic[TS]):
         state = self._keys.get(key)
         if not state or not state.committed:
             return None
-        idx = bisect.bisect_left(state.committed, before, key=lambda e: e[0])
+        idx = bisect.bisect_left(state.committed, (before,))
         if idx == 0:
             return None
         return state.committed[idx - 1][1]
@@ -120,7 +124,7 @@ class VersionStore(Generic[TS]):
         state = self._keys.get(key)
         if not state or not state.prepared:
             return None
-        idx = bisect.bisect_left(state.prepared, before, key=lambda e: e[0])
+        idx = bisect.bisect_left(state.prepared, (before,))
         if idx == 0:
             return None
         return state.prepared[idx - 1][1]
@@ -154,7 +158,7 @@ class VersionStore(Generic[TS]):
     def add_prepared_write(self, key: Key, timestamp: TS, value: Any, writer: bytes) -> None:
         state = self._state(key)
         version = Version(key, timestamp, value, writer, VersionStatus.PREPARED)
-        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        idx = bisect.bisect_left(state.prepared, (timestamp,))
         if idx < len(state.prepared) and state.prepared[idx][0] == timestamp:
             return  # duplicate prepare: idempotent
         state.prepared.insert(idx, (timestamp, version))
@@ -172,7 +176,7 @@ class VersionStore(Generic[TS]):
         state = self._keys.get(key)
         if not state:
             return
-        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        idx = bisect.bisect_left(state.prepared, (timestamp,))
         if idx < len(state.prepared) and state.prepared[idx][0] == timestamp:
             state.prepared.pop(idx)
 
@@ -188,7 +192,7 @@ class VersionStore(Generic[TS]):
     def promote_prepared_write(self, key: Key, timestamp: TS) -> None:
         """Move a prepared version into the committed chain."""
         state = self._state(key)
-        idx = bisect.bisect_left(state.prepared, timestamp, key=lambda e: e[0])
+        idx = bisect.bisect_left(state.prepared, (timestamp,))
         if idx >= len(state.prepared) or state.prepared[idx][0] != timestamp:
             return  # already promoted (duplicate writeback) or never prepared here
         _, version = state.prepared.pop(idx)
@@ -208,8 +212,12 @@ class VersionStore(Generic[TS]):
             return []
         found: list[Version] = []
         for chain in (state.committed, state.prepared):
-            lo = bisect.bisect_right(chain, low, key=lambda e: e[0])
-            hi = bisect.bisect_left(chain, high, key=lambda e: e[0])
+            # At most one entry per timestamp, so "first ts > low" is
+            # "first ts >= low, plus one on an exact hit".
+            lo = bisect.bisect_left(chain, (low,))
+            if lo < len(chain) and chain[lo][0] == low:
+                lo += 1
+            hi = bisect.bisect_left(chain, (high,))
             found.extend(v for _, v in chain[lo:hi])
         return found
 
@@ -222,8 +230,11 @@ class VersionStore(Generic[TS]):
         state = self._keys.get(key)
         if not state:
             return []
-        lo = bisect.bisect_right(state.reads, write_ts, key=lambda e: e[0])
-        return [e for e in state.reads[lo:] if e[1] < write_ts]
+        reads = state.reads
+        lo = bisect.bisect_left(reads, (write_ts,))
+        while lo < len(reads) and reads[lo][0] == write_ts:
+            lo += 1
+        return [e for e in reads[lo:] if e[1] < write_ts]
 
     def has_rts_above(self, key: Key, timestamp: TS) -> bool:
         """MVTSO-Check step 5: an RTS above our write timestamp exists."""

@@ -1,0 +1,209 @@
+"""Tests for the PR 3 verification memo and batched verification costs."""
+
+import pytest
+
+from repro.config import CryptoConfig
+from repro.crypto.cost_model import CryptoContext
+from repro.crypto.digest import digest_of
+from repro.crypto.signatures import KeyRegistry, SignedMessage
+from repro.sim.loop import Simulator
+from repro.sim.node import Cpu
+
+
+def make_ctx(sim, **cfg_overrides):
+    registry = KeyRegistry(seed=1)
+    key = registry.issue("r0")
+    cfg = CryptoConfig(**cfg_overrides)
+    return CryptoContext(registry, key, cfg, Cpu(sim, cores=1)), cfg, registry
+
+
+def run(sim, coro):
+    return sim.run_until_complete(coro)
+
+
+# ----------------------------------------------------------------------
+# Verification memo
+# ----------------------------------------------------------------------
+def test_repeat_verification_charges_once():
+    sim = Simulator()
+    ctx, cfg, _ = make_ctx(sim)
+
+    async def main():
+        signed = await ctx.sign("payload")
+        assert await ctx.verify(signed)
+        first = sim.now
+        assert await ctx.verify(signed)  # memo hit: no CPU charge
+        return first, sim.now
+
+    first, second = run(sim, main())
+    assert first == pytest.approx(cfg.sign_cost + cfg.verify_cost)
+    assert second == first
+    assert ctx.signatures_verified == 2  # both verifications counted
+    assert ctx.verify_memo_hits == 1
+
+
+def test_memo_disabled_charges_every_time():
+    sim = Simulator()
+    ctx, cfg, _ = make_ctx(sim, verify_memo=False)
+
+    async def main():
+        signed = await ctx.sign("payload")
+        assert await ctx.verify(signed)
+        assert await ctx.verify(signed)
+        return sim.now
+
+    assert run(sim, main()) == pytest.approx(cfg.sign_cost + 2 * cfg.verify_cost)
+    assert ctx.verify_memo_hits == 0
+
+
+def test_forgery_never_aliases_a_memoized_verdict():
+    """A forged signature over the same digest must not hit the memo of
+    the genuine one (the secret token is part of the memo key)."""
+    sim = Simulator()
+    ctx, _, registry = make_ctx(sim)
+    forged_key = KeyRegistry(seed=99).issue("r0")
+
+    async def main():
+        genuine = await ctx.sign("payload")
+        # r0's own key: genuine signature verifies and is memoized.
+        assert await ctx.verify(
+            SignedMessage(payload="payload", signature=registry.issue("r0").sign("payload"))
+        )
+        forged = SignedMessage(payload="payload", signature=forged_key.sign("payload"))
+        assert not await ctx.verify(forged)
+        # And the forged verdict must not poison the genuine one.
+        assert await ctx.verify(genuine)
+
+    run(sim, main())
+
+
+def test_memo_also_caches_negative_verdicts():
+    sim = Simulator()
+    ctx, cfg, _ = make_ctx(sim)
+    forged_key = KeyRegistry(seed=99).issue("r0")
+
+    async def main():
+        forged = SignedMessage(payload="m", signature=forged_key.sign("m"))
+        assert not await ctx.verify(forged)
+        after_first = sim.now
+        assert not await ctx.verify(forged)
+        return after_first, sim.now
+
+    first, second = run(sim, main())
+    assert first == pytest.approx(cfg.verify_cost)
+    assert second == first
+    assert ctx.verify_memo_hits == 1
+
+
+# ----------------------------------------------------------------------
+# Batched verification cost model
+# ----------------------------------------------------------------------
+def test_batch_verify_cost_formula():
+    cfg = CryptoConfig()
+    assert cfg.batch_verify_cost(0) == 0.0
+    assert cfg.batch_verify_cost(1) == pytest.approx(cfg.verify_cost)
+    expected = cfg.verify_cost * (1 + 4 / cfg.batch_verify_speedup)
+    assert cfg.batch_verify_cost(5) == pytest.approx(expected)
+    assert cfg.batch_verify_cost(5) < 5 * cfg.verify_cost
+
+
+def test_batch_verify_cost_disabled_is_free():
+    cfg = CryptoConfig(enabled=False)
+    assert cfg.batch_verify_cost(5) == 0.0
+
+
+def test_charge_verify_batch_spends_batched_cost():
+    sim = Simulator()
+    ctx, cfg, _ = make_ctx(sim)
+
+    async def main():
+        await ctx.charge_verify_batch(4)
+        return sim.now
+
+    assert run(sim, main()) == pytest.approx(cfg.batch_verify_cost(4))
+    assert ctx.signatures_verified == 4
+
+
+def test_peek_verify_is_free_and_memoizes():
+    sim = Simulator()
+    ctx, _, registry = make_ctx(sim)
+    key = registry.issue("r0")
+    sig = key.sign("m")
+    digest = digest_of("m")
+
+    verdict, memoized = ctx.peek_verify(sig, digest)
+    assert verdict and not memoized
+    verdict, memoized = ctx.peek_verify(sig, digest)
+    assert verdict and memoized
+    assert sim.now == 0.0  # peeking never charges
+    assert ctx.verify_memo_hits == 1
+
+
+def test_verify_many_structural_batch():
+    registry = KeyRegistry(seed=1)
+    key = registry.issue("r0")
+    forged = KeyRegistry(seed=9).issue("r0")
+    good_sig = key.sign("a")
+    bad_sig = forged.sign("b")
+    verdicts = registry.verify_many(
+        [(good_sig, digest_of("a")), (bad_sig, digest_of("b")), (good_sig, digest_of("x"))]
+    )
+    assert verdicts == [True, False, False]
+
+
+# ----------------------------------------------------------------------
+# Quorum verification through the attestation verifier
+# ----------------------------------------------------------------------
+def _quorum_env(sim, **cfg_overrides):
+    from repro.core.attestation import AttestationVerifier
+
+    registry = KeyRegistry(seed=1)
+    cfg = CryptoConfig(**cfg_overrides)
+    ctx = CryptoContext(registry, registry.issue("me"), cfg, Cpu(sim, cores=1))
+    verifier = AttestationVerifier(ctx)
+    atts = []
+    for i in range(4):
+        key = registry.issue(f"r{i}")
+        payload = f"vote-{i}"
+        atts.append(SignedMessage(payload=payload, signature=key.sign(payload)))
+    return verifier, ctx, cfg, registry, atts
+
+
+def test_quorum_batched_costs_less_than_sequential():
+    sim_seq = Simulator()
+    verifier, _, cfg, _, atts = _quorum_env(sim_seq, batch_verify=False, verify_memo=False)
+    run(sim_seq, verifier.verify_quorum(atts))
+    sequential_time = sim_seq.now
+
+    sim_batch = Simulator()
+    verifier, ctx, cfg, _, atts = _quorum_env(sim_batch, batch_verify=True, verify_memo=False)
+    assert run(sim_batch, verifier.verify_quorum(atts))
+    assert sim_batch.now == pytest.approx(cfg.batch_verify_cost(4))
+    assert sim_batch.now < sequential_time
+    assert ctx.signatures_verified == 4
+
+
+def test_quorum_batched_rejects_forged_member():
+    sim = Simulator()
+    verifier, _, _, _, atts = _quorum_env(sim, batch_verify=True)
+    evil = KeyRegistry(seed=99).issue("r9")
+    atts.append(SignedMessage(payload="vote-9", signature=evil.sign("vote-9")))
+    assert run(sim, verifier.verify_quorum(atts)) is False
+
+
+def test_quorum_batched_memo_skips_known_signatures():
+    sim = Simulator()
+    verifier, ctx, cfg, _, atts = _quorum_env(sim, batch_verify=True)
+
+    async def main():
+        assert await verifier.verify_quorum(atts)
+        first = sim.now
+        # Second quorum over the same attestations: everything memoized,
+        # nothing charged.
+        assert await verifier.verify_quorum(atts)
+        return first, sim.now
+
+    first, second = run(sim, main())
+    assert first == pytest.approx(cfg.batch_verify_cost(4))
+    assert second == first
+    assert ctx.verify_memo_hits == 4

@@ -77,6 +77,54 @@ def test_queue_get_blocks_until_put():
     assert sim.now == pytest.approx(0.5)
 
 
+def test_queue_get_timeout_does_not_eat_next_put():
+    """Regression (PR 3): a timed-out get must withdraw its reservation.
+
+    With the old kernel, wait_for cancelled the getter future and put()
+    skipped it; with the new kernel the get-task is cancelled and the
+    coroutine removes its getter.  Either way, an item put after the
+    timeout must reach the *next* get, not vanish into an abandoned one.
+    """
+    from repro.errors import SimTimeoutError
+
+    sim = Simulator()
+    q = Queue(sim)
+    received = []
+
+    async def consumer():
+        with pytest.raises(SimTimeoutError):
+            await sim.wait_for(q.get(), timeout=0.1)
+        # Message arrives while we are *not* waiting...
+        await sim.sleep(0.2)
+        # ...and must still be delivered to the next get.
+        received.append(await sim.wait_for(q.get(), timeout=1.0))
+
+    sim.call_later(0.2, q.put, "precious")
+    sim.run_until_complete(consumer())
+    assert received == ["precious"]
+    assert len(q._getters) == 0
+
+
+def test_queue_get_timeout_then_put_while_waiting():
+    sim = Simulator()
+    q = Queue(sim)
+    received = []
+
+    async def consumer():
+        from repro.errors import SimTimeoutError
+
+        while len(received) < 2:
+            try:
+                received.append(await sim.wait_for(q.get(), timeout=0.05))
+            except SimTimeoutError:
+                continue
+
+    sim.call_later(0.12, q.put, "a")
+    sim.call_later(0.30, q.put, "b")
+    sim.run_until_complete(consumer())
+    assert received == ["a", "b"]
+
+
 def test_signal_wakes_all_waiters_with_value():
     sim = Simulator()
     signal = Signal()

@@ -228,3 +228,224 @@ def test_max_events_guard():
     sim.call_later(0.0, reschedule)
     with pytest.raises(SimulationError, match="max_events"):
         sim.run(max_events=100)
+
+
+# ----------------------------------------------------------------------
+# PR 3 regression tests: the three satellite bug fixes
+# ----------------------------------------------------------------------
+def test_wait_for_timeout_does_not_poison_shared_future():
+    """A bare future passed to wait_for is left pending on timeout.
+
+    Regression: the old combinator called ``inner.cancel()``
+    unconditionally, completing a *shared* future with CancelledError for
+    every other waiter.
+    """
+    sim = Simulator()
+    shared = Future()
+    other_result = []
+
+    async def other_waiter():
+        other_result.append(await shared)
+
+    async def impatient():
+        with pytest.raises(SimTimeoutError):
+            await sim.wait_for(shared, timeout=0.1)
+
+    sim.create_task(other_waiter())
+    sim.create_task(impatient())
+    sim.call_later(0.5, shared.set_result, "late-but-fine")
+    sim.run()
+    assert not shared.cancelled()
+    assert other_result == ["late-but-fine"]
+
+
+def test_wait_for_timeout_still_cancels_own_task():
+    """A coroutine passed to wait_for *is* cancelled on timeout."""
+    sim = Simulator()
+    progress = []
+
+    async def slow():
+        progress.append("start")
+        await sim.sleep(10.0)
+        progress.append("end")
+
+    async def main():
+        with pytest.raises(SimTimeoutError):
+            await sim.wait_for(slow(), timeout=0.1)
+
+    sim.run_until_complete(main())
+    sim.run()
+    assert progress == ["start"]
+
+
+def test_gather_fail_fast_cancels_created_siblings():
+    """Regression: gather used to leak still-running sibling tasks after
+    failing fast, letting them keep mutating state."""
+    sim = Simulator()
+    progress = []
+
+    async def boom():
+        await sim.sleep(0.1)
+        raise ValueError("bang")
+
+    async def slow_mutator():
+        await sim.sleep(5.0)
+        progress.append("mutated")
+
+    async def main():
+        with pytest.raises(ValueError, match="bang"):
+            await sim.gather([boom(), slow_mutator()])
+
+    sim.run_until_complete(main())
+    sim.run()
+    assert progress == []
+
+
+def test_gather_fail_fast_leaves_shared_futures_alone():
+    """Bare futures in a failed gather belong to their owners: no cancel."""
+    sim = Simulator()
+    shared = Future()
+
+    async def boom():
+        await sim.sleep(0.1)
+        raise ValueError("bang")
+
+    async def main():
+        with pytest.raises(ValueError):
+            await sim.gather([shared, boom()])
+
+    sim.run_until_complete(main())
+    assert not shared.done()
+    shared.set_result("still usable")
+    assert shared.result() == "still usable"
+
+
+def test_gather_return_exceptions():
+    sim = Simulator()
+
+    async def ok():
+        await sim.sleep(0.2)
+        return "fine"
+
+    async def boom():
+        await sim.sleep(0.1)
+        raise ValueError("bang")
+
+    async def main():
+        return await sim.gather([ok(), boom()], return_exceptions=True)
+
+    results = sim.run_until_complete(main())
+    assert results[0] == "fine"
+    assert isinstance(results[1], ValueError)
+
+
+def test_max_events_budget_checked_before_pop():
+    """Regression: the N+1-th event used to be popped and silently lost
+    when the guard raised; resuming must process it."""
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.call_later(0.001 * (i + 1), fired.append, i)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    sim.run()  # resume without a budget: nothing was lost
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_max_events_budget_in_run_until_complete():
+    sim = Simulator()
+    fired = []
+
+    async def main():
+        for i in range(5):
+            await sim.sleep(0.001)
+            fired.append(i)
+
+    task = sim.create_task(main())
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run_until_complete(task, max_events=2)
+    assert fired == [0, 1]
+    assert sim.run_until_complete(task) is None
+    assert fired == [0, 1, 2, 3, 4]
+
+
+# ----------------------------------------------------------------------
+# PR 3: iterative trampoline and timer tombstoning
+# ----------------------------------------------------------------------
+def test_deep_chain_of_completed_futures():
+    """>=10k tasks each awaiting the previous one's result must complete
+    without RecursionError (the cascade is bounded and spills to a FIFO)."""
+    sim = Simulator()
+    n = 10_000
+
+    async def relay(fut):
+        return await fut + 1
+
+    root = Future()
+    prev = root
+    for _ in range(n):
+        prev = sim.create_task(relay(prev))
+    last = prev
+    sim.call_later(0.001, root.set_result, 0)
+    sim.run()
+    assert last.result() == n
+
+
+def test_deep_sequential_awaits_in_one_coroutine():
+    """One coroutine awaiting 10k futures completed back-to-back by a
+    single callback must not accumulate stack: every wakeup fully unwinds
+    before the completing loop resolves the next future."""
+    sim = Simulator()
+    futures = []
+
+    def complete_all():
+        for fut in futures:
+            fut.set_result(1)
+
+    async def main():
+        total = 0
+        for fut in futures:
+            total += await fut
+        return total
+
+    futures.extend(Future() for _ in range(10_000))
+    sim.call_later(0.001, complete_all)
+    assert sim.run_until_complete(main()) == 10_000
+
+
+def test_cancelled_timers_are_compacted():
+    """Cancelling timers drops their callbacks immediately and keeps the
+    heap from accumulating tombstones."""
+    sim = Simulator()
+    handles = [sim.call_later(10.0, (lambda: None)) for _ in range(1000)]
+    for handle in handles:
+        handle.cancel()
+    # Compaction triggers once tombstones dominate; the heap must not
+    # retain all 1000 dead entries.
+    assert len(sim._queue) < 1000
+    survivors = []
+    sim.call_later(0.5, survivors.append, "live")
+    sim.run()
+    assert survivors == ["live"]
+    assert all(h.cancelled for h in handles)
+
+
+def test_cancel_after_fire_is_noop():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_later(0.1, fired.append, 1)
+    sim.run()
+    handle.cancel()  # must not tombstone-count or blow up
+    assert fired == [1]
+    assert sim._tombstones == 0
+
+
+def test_remove_done_callback():
+    fut = Future()
+    seen = []
+    cb = seen.append
+    fut.add_done_callback(cb)
+    assert fut.remove_done_callback(cb) == 1
+    fut.set_result(1)
+    assert seen == []
