@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -31,6 +31,15 @@ perf-smoke:
 perf-record:
 	python -m repro.perf record --out BENCH_PR3.json
 	python -m repro.perf record --out BENCH_PR3.json --quick
+
+load-smoke:
+	pytest tests -m load_smoke -q
+	python examples/overload_recovery.py
+	python -m repro.load sweep --quick --clients 8 --proxies 8 \
+		--loads 800 1600 2400 --no-closed-loop --no-overload
+
+load-sweep:
+	python -m repro.load sweep --system basil --workload ycsb-t
 
 examples:
 	python examples/quickstart.py

@@ -139,6 +139,10 @@ class TapirClient(Node):
         self.config = config
         self.sharder = sharder
         self._req_seq = 0
+        #: Monotonic-begin guard for open-loop injection (see
+        #: BasilClient.begin): concurrent sessions on one client must
+        #: not share a (time, client_id) transaction timestamp.
+        self._last_issued = GENESIS
         self._pending: dict[int, Queue] = {}
 
     def _next_req(self) -> int:
@@ -152,7 +156,11 @@ class TapirClient(Node):
             queue.put((sender, message))
 
     def begin(self) -> TxBuilder:
-        return TxBuilder(timestamp=Timestamp.from_clock(self.local_time, self.client_id))
+        ts = Timestamp.from_clock(self.local_time, self.client_id)
+        if ts <= self._last_issued:
+            ts = Timestamp(time=self._last_issued.time + 1, client_id=self.client_id)
+        self._last_issued = ts
+        return TxBuilder(timestamp=ts)
 
     # ------------------------------------------------------------------
     async def read(self, builder: TxBuilder, key: Any) -> Any:

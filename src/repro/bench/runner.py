@@ -31,15 +31,23 @@ class BenchResult:
     duration: float
     #: Messages the network dropped over the whole run (loss + adversary).
     dropped: int = 0
+    #: Open-loop load columns (repro.load); all zero in closed-loop runs
+    #: and then omitted from row(), so existing tables read unchanged.
+    offered_tps: float = 0.0
+    goodput_tps: float = 0.0
+    shed_count: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> str:
-        return (
+        row = (
             f"{self.name:<28} {self.throughput:>10.1f} tx/s  "
             f"lat {self.mean_latency * 1000:7.2f} ms  p99 {self.p99_latency * 1000:7.2f} ms  "
             f"commit {self.commit_rate * 100:5.1f}%  fast {self.fast_path_rate * 100:5.1f}%  "
             f"drop {self.dropped}"
         )
+        if self.offered_tps:
+            row += f"  offered {self.offered_tps:>9.1f} tx/s  shed {self.shed_count}"
+        return row
 
 
 class ExperimentRunner:

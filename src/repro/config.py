@@ -118,6 +118,81 @@ class LivenessConfig:
 
 
 @dataclass(frozen=True)
+class ArrivalConfig:
+    """Open-loop arrival process (:mod:`repro.load.arrivals`).
+
+    ``rate`` is the *mean* offered load in transactions per simulated
+    second for every process shape; the shapes differ in variance:
+
+    * ``poisson`` — exponential inter-arrivals (M/G/k offered load).
+    * ``uniform`` — inter-arrivals uniform in ``(1 ± spread) / rate``;
+      ``spread=0`` is a perfectly paced arrival comb.
+    * ``bursty`` — on/off MMPP: a two-state modulating chain whose ON
+      state offers ``peak_ratio * rate`` and whose OFF state offers
+      whatever keeps the long-run mean at ``rate``.
+    """
+
+    process: str = "poisson"
+    rate: float = 1000.0
+    #: uniform: half-width of the inter-arrival window as a fraction of
+    #: the mean gap (0 = fixed spacing, must stay < 1).
+    spread: float = 0.5
+    #: bursty: ON-state rate as a multiple of the mean rate (> 1).
+    peak_ratio: float = 3.0
+    #: bursty: long-run fraction of time spent in the ON state; must
+    #: satisfy ``peak_ratio * on_fraction <= 1`` so the OFF rate is >= 0.
+    on_fraction: float = 0.3
+    #: bursty: mean length of one ON+OFF cycle, seconds (dwells are
+    #: exponential with means ``cycle * on_fraction`` / ``cycle * (1 -
+    #: on_fraction)``).
+    cycle: float = 0.02
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Client-proxy admission control (:mod:`repro.load.admission`).
+
+    ``policy`` selects the algorithm:
+
+    * ``none`` — admit everything (pure open loop).
+    * ``static-cap`` — at most ``cap`` transactions in flight; excess
+      arrivals are shed (``mode="shed"``) or parked and retried
+      (``mode="delay"``) until ``max_queue_delay`` expires.
+    * ``aimd`` — additive-increase / multiplicative-decrease shedding:
+      the in-flight cap grows by ``additive_increase`` per healthy
+      ``sample_interval`` and shrinks by ``decrease_factor`` whenever
+      replica queue depth or utilization (via ``Node.load_signal``)
+      crosses the high-water marks.
+    """
+
+    policy: str = "none"
+    #: static-cap: max admitted-but-unfinished transactions.
+    cap: int = 64
+    #: static-cap: what to do with an over-cap arrival (shed | delay).
+    mode: str = "shed"
+    #: delay mode: how long a parked arrival waits between re-checks.
+    retry_delay: float = 2 * MS
+    #: delay mode: park at most this long before shedding.
+    max_queue_delay: float = 50 * MS
+    # -- aimd knobs -----------------------------------------------------
+    initial_cap: float = 16.0
+    min_cap: float = 4.0
+    additive_increase: float = 4.0
+    #: gentle backoff: the sawtooth averages ~(1+decrease_factor)/2 of
+    #: the converged cap, so 0.85 holds >90% of knee goodput where 0.5
+    #: (TCP's beta) would idle a quarter of the capacity away.
+    decrease_factor: float = 0.85
+    #: min spacing between signal samples (sampled lazily on arrivals;
+    #: never schedules events of its own).
+    sample_interval: float = 5 * MS
+    #: overloaded when any replica's queued work items per core exceed
+    #: this...
+    queue_high_water: float = 4.0
+    #: ...or when windowed utilization of the busiest replica does.
+    target_utilization: float = 0.95
+
+
+@dataclass(frozen=True)
 class NodeConfig:
     """Compute shape of one server: paper uses 8-core 2.0 GHz machines."""
 

@@ -108,6 +108,11 @@ class BasilClient(Node):
         self.verifier = AttestationVerifier(self.crypto, aggregate=config.crypto.signature_aggregation)
         self.validator = CertValidator(config, sharder, self.verifier)
         self._req_seq = 0
+        #: Highest timestamp handed out by begin(); open-loop injection
+        #: (repro.load) starts many concurrent sessions on one client,
+        #: and two transactions sharing (time, client_id) would collide
+        #: on their identity.  Closed-loop use never trips this guard.
+        self._last_issued = GENESIS
         self._pending: dict[int, Queue] = {}
         #: Pushed ST2R (req_id == 0) routed by transaction id.
         self._finish_watch: dict[Digest, list[Queue]] = {}
@@ -164,8 +169,19 @@ class BasilClient(Node):
     # Execution phase
     # ------------------------------------------------------------------
     def begin(self) -> TxBuilder:
-        """Begin(): choose ts = (Time, ClientID) from the local clock."""
-        return TxBuilder(timestamp=Timestamp.from_clock(self.local_time, self.client_id))
+        """Begin(): choose ts = (Time, ClientID) from the local clock.
+
+        Timestamps are strictly monotonic per client: when two sessions
+        begin within the same clock microsecond (possible only under
+        open-loop injection), the later one is bumped forward one tick.
+        Replicas admit timestamps up to their clock + delta, so a bump
+        of a few microseconds never risks rejection.
+        """
+        ts = Timestamp.from_clock(self.local_time, self.client_id)
+        if ts <= self._last_issued:
+            ts = Timestamp(time=self._last_issued.time + 1, client_id=self.client_id)
+        self._last_issued = ts
+        return TxBuilder(timestamp=ts)
 
     async def read(self, builder: TxBuilder, key: Any) -> ReadResult:
         """Sec 4.1 Read(): quorum read with Byzantine-validity filtering."""

@@ -302,3 +302,33 @@ SCENARIOS: dict[str, Scenario] = {
 
 #: The three-scenario subset `make fault-smoke` runs.
 SMOKE_SCENARIOS = ("partition-minority", "crash-restart", "byz-clients-stall-early")
+
+
+# ---------------------------------------------------------------------------
+# Composition with the open-loop load subsystem
+# ---------------------------------------------------------------------------
+def overload_window_schedule(
+    warmup: float, duration: float, drop_rate: float = 0.02
+) -> FaultSchedule:
+    """A link-chaos window sized for an open-loop run's measured portion.
+
+    The load subsystem's generator takes any ``FaultSchedule`` via its
+    ``injector`` argument; this helper builds the common composition —
+    overload *plus* a degraded network — so capacity experiments can ask
+    what admission control does when packet loss is also eating goodput.
+    """
+    start = warmup + 0.1 * duration
+    end = warmup + 0.7 * duration
+    return FaultSchedule(
+        name="overload-chaos",
+        faults=(
+            LinkFault(
+                start=start,
+                end=end,
+                drop_rate=drop_rate,
+                delay_jitter=200e-6,
+                reorder_rate=0.05,
+                reorder_spread=500e-6,
+            ),
+        ),
+    ).validate()

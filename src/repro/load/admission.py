@@ -1,0 +1,182 @@
+"""Client-proxy admission control.
+
+When offered load exceeds capacity, an open-loop system does not degrade
+gracefully on its own: replica queues grow without bound, timeouts fire,
+clients rebroadcast, and the retry traffic itself consumes the capacity
+that remains (goodput collapse).  Admission control sheds or delays
+arrivals *at the client proxy*, before they cost the replicas anything,
+trading rejected requests for bounded latency on the admitted ones.
+
+Policies are pure decision functions over local proxy state plus
+:class:`repro.sim.node.LoadSignal` snapshots read from the replicas via
+``system.replicas`` — sampling is lazy (on arrivals, rate-limited by
+``sample_interval``), so no policy ever schedules simulator events and
+the determinism contract of :mod:`repro.load.arrivals` holds end to end.
+"""
+
+from __future__ import annotations
+
+from repro.config import AdmissionConfig
+
+#: Decision verbs returned by :meth:`AdmissionPolicy.decide`.
+ADMIT = "admit"
+SHED = "shed"
+DELAY = "delay"
+
+
+class AdmissionPolicy:
+    """Base class; also the policy-facing view of proxy state.
+
+    The generator calls :meth:`decide` once per arrival (and again per
+    re-check for parked arrivals) with the number of transactions it has
+    admitted but not yet finished.  ``on_admit``/``on_done`` bracket each
+    admitted transaction so adaptive policies can meter completions.
+    """
+
+    name = "none"
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        self.stats: dict[str, int] = {"admitted": 0, "shed": 0, "delayed": 0}
+        #: Smallest in-flight count at which this policy ever shed — the
+        #: invariant tests pin that it never drops below the static cap.
+        self.min_in_flight_at_shed: int | None = None
+
+    def decide(self, now: float, in_flight: int, system) -> str:
+        return ADMIT
+
+    def on_admit(self, now: float) -> None:
+        self.stats["admitted"] += 1
+
+    def on_done(self, now: float, committed: bool) -> None:
+        pass
+
+    # -- bookkeeping shared by subclasses -------------------------------
+    def _record_shed(self, in_flight: int) -> None:
+        self.stats["shed"] += 1
+        if (
+            self.min_in_flight_at_shed is None
+            or in_flight < self.min_in_flight_at_shed
+        ):
+            self.min_in_flight_at_shed = in_flight
+
+    def current_cap(self) -> float | None:
+        """The in-flight limit being enforced right now (None = unlimited)."""
+        return None
+
+
+class NoAdmission(AdmissionPolicy):
+    """Admit everything — the pure open loop (and the collapse baseline)."""
+
+    name = "none"
+
+
+class StaticCapPolicy(AdmissionPolicy):
+    """At most ``cap`` transactions in flight across the proxy pool.
+
+    Over-cap arrivals are shed immediately (``mode="shed"``) or parked
+    and re-checked every ``retry_delay`` until a slot frees or
+    ``max_queue_delay`` expires (``mode="delay"`` — the generator owns
+    the parking clock and calls :meth:`decide` again per re-check).
+    """
+
+    name = "static-cap"
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        super().__init__(config)
+        if config.cap < 1:
+            raise ValueError("static cap must be at least 1")
+        if config.mode not in ("shed", "delay"):
+            raise ValueError(f"unknown static-cap mode {config.mode!r}")
+
+    def decide(self, now: float, in_flight: int, system) -> str:
+        if in_flight < self.config.cap:
+            return ADMIT
+        if self.config.mode == "delay":
+            self.stats["delayed"] += 1
+            return DELAY
+        self._record_shed(in_flight)
+        return SHED
+
+    def current_cap(self) -> float | None:
+        return float(self.config.cap)
+
+
+class AdditiveIncreaseShedding(AdmissionPolicy):
+    """AIMD in-flight cap driven by replica load signals.
+
+    The cap grows by ``additive_increase`` per healthy ``sample_interval``
+    (probing for capacity) and halves — multiplicative decrease by
+    ``decrease_factor`` — whenever the busiest replica's backlog per core
+    exceeds ``queue_high_water`` or its windowed utilization exceeds
+    ``target_utilization``.  This is TCP's congestion-control shape
+    applied to transaction admission: it converges near the knee without
+    knowing the knee in advance, and backs off before replica queues (and
+    therefore p99) run away.
+    """
+
+    name = "aimd"
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        super().__init__(config)
+        self.cap = config.initial_cap
+        self._last_sample = None  # (time, max busy_time) of previous reading
+        self.stats["increases"] = 0
+        self.stats["decreases"] = 0
+
+    def _sample(self, now: float, system) -> None:
+        """Re-read replica signals if ``sample_interval`` has elapsed.
+
+        Lazy by design: called from ``decide`` on the arrival path, reads
+        state that already exists, schedules nothing.
+        """
+        prev = self._last_sample
+        if prev is not None and now - prev[0] < self.config.sample_interval:
+            return
+        signals = [node.load_signal() for node in system.replicas.values()]
+        if not signals:
+            return
+        busy_now = max(s.busy_time for s in signals)
+        backlog = max(s.backlog_per_core for s in signals)
+        overloaded = backlog > self.config.queue_high_water
+        if prev is not None and not overloaded:
+            elapsed = now - prev[0]
+            cores = max(s.cores for s in signals)
+            if elapsed > 0:
+                utilization = (busy_now - prev[1]) / (elapsed * cores)
+                overloaded = utilization > self.config.target_utilization
+        self._last_sample = (now, busy_now)
+        if overloaded:
+            self.cap = max(self.config.min_cap, self.cap * self.config.decrease_factor)
+            self.stats["decreases"] += 1
+        else:
+            self.cap += self.config.additive_increase
+            self.stats["increases"] += 1
+
+    def decide(self, now: float, in_flight: int, system) -> str:
+        self._sample(now, system)
+        if in_flight < self.cap:
+            return ADMIT
+        self._record_shed(in_flight)
+        return SHED
+
+    def current_cap(self) -> float | None:
+        return self.cap
+
+
+POLICIES = {
+    "none": NoAdmission,
+    "static-cap": StaticCapPolicy,
+    "aimd": AdditiveIncreaseShedding,
+}
+
+
+def make_policy(config: AdmissionConfig) -> AdmissionPolicy:
+    try:
+        cls = POLICIES[config.policy]
+    except KeyError:
+        raise ValueError(
+            f"unknown admission policy {config.policy!r} "
+            f"(have: {', '.join(sorted(POLICIES))})"
+        ) from None
+    return cls(config)

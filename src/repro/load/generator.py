@@ -1,0 +1,233 @@
+"""The open-loop load generator.
+
+Drives one system with arrivals from an :class:`~repro.load.arrivals`
+process instead of the bench harness's closed-loop clients.  Arrivals
+are independent of completions: when the system saturates, work piles up
+(or is shed by the admission policy) instead of silently throttling the
+offered rate, which is what lets :mod:`repro.load.planner` map the
+latency–throughput curve past the knee.
+
+Structure: one *driver* task samples inter-arrival gaps from the
+dedicated ``"load"`` RNG stream; each admitted arrival becomes its own
+simulator task running the usual session/retry loop against a pool of
+``proxies`` protocol clients (round-robin).  Clients issue monotonic
+begin timestamps, so concurrent sessions on one proxy are safe.
+
+Determinism: all generator randomness lives on the ``"load"``,
+``"load-workload"``, and ``"load-backoff"`` streams — protocol streams
+are untouched, so a run with the generator disabled is byte-identical
+to one where :mod:`repro.load` was never imported (pinned by
+``tests/load/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import AdmissionConfig, ArrivalConfig
+from repro.errors import ProtocolError
+from repro.load.admission import ADMIT, DELAY, SHED, AdmissionPolicy, make_policy
+from repro.load.arrivals import ArrivalProcess, from_config
+from repro.sim.monitor import MeasurementWindow, Monitor
+
+
+class OpenLoopGenerator:
+    """Open-loop counterpart of :class:`repro.bench.runner.ExperimentRunner`.
+
+    ``system`` must expose ``sim``, ``replicas``, ``create_client()`` and
+    ``new_session(client)`` (Basil, TAPIR, and TxSMR all do).  Latency is
+    measured from *arrival* to commit, so admission-delay and queueing
+    time count — the client-visible number an overloaded service shows.
+    """
+
+    def __init__(
+        self,
+        system: Any,
+        workload: Any,
+        arrivals: ArrivalProcess | ArrivalConfig,
+        admission: AdmissionPolicy | AdmissionConfig | None = None,
+        duration: float = 1.0,
+        warmup: float = 0.25,
+        proxies: int = 8,
+        max_retries: int = 50,
+        backoff_base: float = 0.002,
+        backoff_max: float = 0.05,
+        name: str = "",
+        tracer: Any = None,
+        injector: Any = None,
+    ) -> None:
+        self.system = system
+        self.workload = workload
+        self.arrivals = (
+            from_config(arrivals) if isinstance(arrivals, ArrivalConfig) else arrivals
+        )
+        if admission is None:
+            admission = AdmissionConfig()
+        self.policy = (
+            make_policy(admission) if isinstance(admission, AdmissionConfig) else admission
+        )
+        self.duration = duration
+        self.warmup = warmup
+        self.proxies = proxies
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.name = name or f"{getattr(workload, 'name', 'load')}@{self.arrivals.rate:.0f}"
+        self.tracer = tracer
+        self.injector = injector
+        self.monitor = Monitor(
+            window=MeasurementWindow(start=warmup, end=warmup + duration)
+        )
+        #: Admitted-but-unfinished transactions (the policy's input).
+        self.in_flight = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> "BenchResult":
+        from repro.bench.runner import BenchResult
+
+        sim = self.system.sim
+        if self.tracer is not None:
+            sim.attach_tracer(self.tracer)
+        if self.injector is not None:
+            self.injector.attach(self.system)
+        self.system.load(self.workload.load_data())
+        self._clients = [self.system.create_client() for _ in range(self.proxies)]
+        self._next_proxy = 0
+        self._tasks: list[Any] = []
+        end_time = self.warmup + self.duration + self.warmup  # + cool-down
+        self._end_time = end_time
+        driver = sim.create_task(self._drive(end_time), name="load-driver")
+        sim.run(until=end_time)
+        driver.cancel()
+        for task in self._tasks:
+            task.cancel()
+        return self._result(BenchResult)
+
+    # ------------------------------------------------------------------
+    async def _drive(self, end_time: float) -> None:
+        sim = self.system.sim
+        rng = sim.rng("load")
+        while True:
+            gap = self.arrivals.next_interarrival(rng, sim.now)
+            await sim.sleep(gap)
+            if sim.now >= end_time:
+                return
+            self._arrival(sim.now)
+
+    def _arrival(self, arrived: float) -> None:
+        sim = self.system.sim
+        self.monitor.record_offered(arrived)
+        task = self.workload.next_transaction(sim.rng("load-workload"))
+        decision = self.policy.decide(arrived, self.in_flight, self.system)
+        if decision == ADMIT:
+            self._admit(task, arrived)
+        elif decision == DELAY:
+            self._tasks.append(
+                sim.create_task(self._parked(task, arrived), name="load-parked")
+            )
+        else:
+            self._shed(arrived)
+
+    def _shed(self, now: float) -> None:
+        self.monitor.record_shed(now)
+        tracer = self.system.sim.tracer
+        if tracer.enabled:
+            tracer.instant("load-gen", "load", "shed", in_flight=self.in_flight)
+
+    async def _parked(self, task: Any, arrived: float) -> None:
+        """Delay-mode parking: re-check until a slot frees or we time out."""
+        sim = self.system.sim
+        config = self.policy.config
+        while True:
+            await sim.sleep(config.retry_delay)
+            if sim.now - arrived > config.max_queue_delay:
+                self._shed(sim.now)
+                return
+            decision = self.policy.decide(sim.now, self.in_flight, self.system)
+            if decision == ADMIT:
+                if sim.tracer.enabled:
+                    sim.tracer.complete(
+                        "load-gen", "load", "queued", arrived, sim.now
+                    )
+                self._admit(task, arrived)
+                return
+            if decision == SHED:
+                self._shed(sim.now)
+                return
+
+    def _admit(self, task: Any, arrived: float) -> None:
+        sim = self.system.sim
+        self.monitor.record_admitted(sim.now)
+        self.policy.on_admit(sim.now)
+        self.in_flight += 1
+        client = self._clients[self._next_proxy]
+        self._next_proxy = (self._next_proxy + 1) % len(self._clients)
+        self._tasks.append(
+            sim.create_task(self._execute(client, task, arrived), name="load-txn")
+        )
+
+    async def _execute(self, client: Any, task: Any, arrived: float) -> None:
+        sim = self.system.sim
+        monitor = self.monitor
+        rng = sim.rng("load-backoff")
+        started = sim.now
+        committed = False
+        try:
+            retries = 0
+            while True:
+                session = self.system.new_session(client)
+                try:
+                    await task.body(session)
+                    result = await session.commit()
+                except ProtocolError:
+                    monitor.record_event(sim.now, "protocol_errors")
+                    break
+                if result.committed:
+                    committed = True
+                    monitor.record_commit(
+                        sim.now, sim.now - arrived, result.fast_path, tag="open"
+                    )
+                    break
+                monitor.record_abort(sim.now, tag="open")
+                retries += 1
+                if retries > self.max_retries or sim.now >= self._end_time:
+                    monitor.record_event(sim.now, "gave_up")
+                    break
+                backoff = min(self.backoff_max, self.backoff_base * (2 ** (retries - 1)))
+                await sim.sleep(rng.uniform(0, backoff))
+        finally:
+            self.in_flight -= 1
+            self.policy.on_done(sim.now, committed)
+            tracer = sim.tracer
+            if tracer.enabled:
+                tracer.complete(
+                    "load-gen", "load", "inflight", started, sim.now,
+                    committed=committed, wait=started - arrived,
+                )
+
+    # ------------------------------------------------------------------
+    def _result(self, result_cls) -> "BenchResult":
+        monitor = self.monitor
+        return result_cls(
+            name=self.name,
+            throughput=monitor.throughput(),
+            mean_latency=monitor.mean_latency(),
+            p99_latency=monitor.p99_latency(),
+            commit_rate=monitor.commit_rate(),
+            fast_path_rate=monitor.fast_path_rate(),
+            commits=monitor.counter("commits").value,
+            aborts=monitor.counter("aborts").value,
+            duration=self.duration,
+            dropped=getattr(getattr(self.system, "network", None), "messages_dropped", 0),
+            offered_tps=monitor.offered_tps(),
+            goodput_tps=monitor.goodput_tps(),
+            shed_count=monitor.shed_count(),
+            extra={
+                "admitted": monitor.counter("admitted").value,
+                "policy": self.policy.name,
+                "policy_stats": dict(self.policy.stats),
+                "arrival_rate": self.arrivals.rate,
+                "gave_up": monitor.counter("gave_up").value,
+                "protocol_errors": monitor.counter("protocol_errors").value,
+            },
+        )

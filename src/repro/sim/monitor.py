@@ -51,7 +51,16 @@ class Histogram:
         return sum(self._samples) / len(self._samples)
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; ``p`` in [0, 100].
+        """Linearly interpolated percentile; ``p`` in [0, 100].
+
+        Uses the standard ``(n - 1)``-spaced interpolation (numpy's
+        ``linear`` mode): sample ``i`` sits at percentile ``100 * i /
+        (n - 1)`` and queries between samples interpolate.  The previous
+        nearest-rank rule jumped discontinuously at extreme ``p`` with
+        few samples — ``p99`` of a 50-sample histogram *was* the single
+        maximum, so one outlier swung knee detection (repro.load) by an
+        arbitrary factor.  Interpolation keeps p0 = min and p100 = max
+        exact while making everything in between vary continuously.
 
         Edge cases are explicit: an empty histogram reports 0.0 (there
         is no latency to report), a single sample is every percentile,
@@ -66,8 +75,12 @@ class Histogram:
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
-        rank = max(0, min(len(self._samples) - 1, math.ceil(p / 100 * len(self._samples)) - 1))
-        return self._samples[rank]
+        position = (p / 100.0) * (len(self._samples) - 1)
+        lower = math.floor(position)
+        frac = position - lower
+        if frac == 0.0 or lower + 1 >= len(self._samples):
+            return self._samples[lower]
+        return self._samples[lower] + frac * (self._samples[lower + 1] - self._samples[lower])
 
     def max(self) -> float:
         return max(self._samples) if self._samples else 0.0
@@ -148,6 +161,24 @@ class Monitor:
             return
         self.counter(name).add()
 
+    # -- open-loop load accounting (repro.load) ---------------------------
+    def record_offered(self, now: float) -> None:
+        """One open-loop arrival (before any admission decision)."""
+        if not self.window.contains(now):
+            return
+        self.counter("offered").add()
+
+    def record_admitted(self, now: float) -> None:
+        if not self.window.contains(now):
+            return
+        self.counter("admitted").add()
+
+    def record_shed(self, now: float) -> None:
+        """An arrival rejected by admission control (never executed)."""
+        if not self.window.contains(now):
+            return
+        self.counter("shed").add()
+
     # -- derived metrics ---------------------------------------------------
     def throughput(self) -> float:
         """Committed transactions per simulated second in the window."""
@@ -173,3 +204,18 @@ class Monitor:
 
     def p99_latency(self) -> float:
         return self.histogram("commit_latency").percentile(99)
+
+    def offered_tps(self) -> float:
+        """Open-loop arrivals per second in the window (0 in closed loop)."""
+        duration = self.window.duration
+        if not math.isfinite(duration) or duration <= 0:
+            return 0.0
+        return self.counter("offered").value / duration
+
+    def goodput_tps(self) -> float:
+        """Committed transactions per second — throughput(), named the way
+        overload reports read (goodput vs offered load)."""
+        return self.throughput()
+
+    def shed_count(self) -> int:
+        return self.counter("shed").value

@@ -9,12 +9,34 @@ so a node's throughput ceiling emerges naturally from its offered load.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Coroutine
 
 from collections import deque
 
 from repro.config import NodeConfig
 from repro.sim.loop import DONE, Future, Simulator, Task
+
+
+@dataclass(frozen=True)
+class LoadSignal:
+    """One node's instantaneous load reading.
+
+    Admission-control policies (:mod:`repro.load.admission`) poll these
+    to decide whether a deployment is saturated.  ``busy_time`` is
+    cumulative, so a windowed utilization is a delta between two
+    readings divided by ``cores * elapsed``.
+    """
+
+    queue_depth: int  #: work items waiting for a core
+    busy_cores: int  #: cores currently occupied
+    cores: int
+    busy_time: float  #: cumulative busy core-seconds
+
+    @property
+    def backlog_per_core(self) -> float:
+        """Queued work items per core — the queueing-delay proxy."""
+        return self.queue_depth / self.cores
 
 
 class Cpu:
@@ -84,6 +106,20 @@ class Cpu:
             return 0.0
         return self.busy_time / (elapsed * self.cores)
 
+    @property
+    def queue_depth(self) -> int:
+        """Work items waiting for a core right now."""
+        return len(self._pending)
+
+    def signal(self) -> LoadSignal:
+        """Instantaneous load reading (pure observation, never schedules)."""
+        return LoadSignal(
+            queue_depth=len(self._pending),
+            busy_cores=self.cores - self._free,
+            cores=self.cores,
+            busy_time=self.busy_time,
+        )
+
 
 class Node:
     """Base class for every simulated machine (replica, client, etc.).
@@ -116,6 +152,11 @@ class Node:
     def local_time(self) -> float:
         """This node's (possibly skewed) reading of the current time."""
         return self.sim.now + self.clock_offset
+
+    # -- load observability ----------------------------------------------
+    def load_signal(self) -> LoadSignal:
+        """CPU occupancy/queue-depth snapshot for admission control."""
+        return self.cpu.signal()
 
     # -- messaging ------------------------------------------------------
     def deliver(self, sender: str, message: Any) -> None:

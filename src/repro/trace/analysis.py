@@ -61,6 +61,56 @@ def render_phase_breakdown(tracer: Tracer, title: str = "phase breakdown") -> st
 
 
 # ---------------------------------------------------------------------------
+# Open-loop load breakdown (repro.load generator spans)
+# ---------------------------------------------------------------------------
+#: Spans the open-loop generator records: ``queued`` (admission-delay
+#: parking) and ``inflight`` (admit -> final outcome, retries included).
+LOAD_PHASES = ("queued", "inflight")
+
+
+def load_histograms(tracer: Tracer) -> dict[str, Histogram]:
+    """One duration histogram per ``load``-category span."""
+    hists: dict[str, Histogram] = {}
+    for event in tracer:
+        if event.category != "load" or event.dur is None:
+            continue
+        hist = hists.get(event.name)
+        if hist is None:
+            hist = hists[event.name] = Histogram(event.name)
+        hist.record(event.dur)
+    return hists
+
+
+def shed_count(tracer: Tracer) -> int:
+    """Arrivals the admission policy rejected (``load``/``shed`` instants)."""
+    return sum(
+        1 for e in tracer if e.category == "load" and e.name == "shed"
+    )
+
+
+def render_load_breakdown(tracer: Tracer, title: str = "load breakdown") -> str:
+    """Where an open-loop transaction's client-visible time goes."""
+    hists = load_histograms(tracer)
+    lines = [f"--- {title} ---"]
+    if not hists:
+        lines.append("  (no load spans recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {'span':<10} {'count':>7} {'mean':>9} {'p50':>9} {'p95':>9} {'p99':>9}   (ms)"
+    )
+    ordered = [p for p in LOAD_PHASES if p in hists]
+    ordered += sorted(set(hists) - set(LOAD_PHASES))
+    for phase in ordered:
+        s = hists[phase].summary()
+        lines.append(
+            f"  {phase:<10} {s['count']:>7} {s['mean'] * 1e3:>9.3f} "
+            f"{s['p50'] * 1e3:>9.3f} {s['p95'] * 1e3:>9.3f} {s['p99'] * 1e3:>9.3f}"
+        )
+    lines.append(f"  shed: {shed_count(tracer)}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # One transaction's timeline
 # ---------------------------------------------------------------------------
 def transaction_phases(tracer: Tracer, txid: str) -> list[TraceEvent]:

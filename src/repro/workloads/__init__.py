@@ -20,11 +20,46 @@ from repro.workloads.smallbank import SmallbankWorkload
 from repro.workloads.ycsb import YCSBWorkload
 from repro.workloads.zipf import ZipfGenerator
 
+#: Name -> factory registry used by CLI tools (repro.load, scripts) so a
+#: workload is addressable as plain data.  ``keys`` scales the hot table
+#: (YCSB keys, accounts, users, warehouses x100); each factory maps it to
+#: that workload's natural population knob.
+WORKLOADS = {
+    # YCSB-T as benchmarked in Fig 4a: uniform 2r/2w ("-t"), plus the
+    # explicit uniform/Zipfian variants.
+    "ycsb-t": lambda keys: YCSBWorkload(num_keys=keys, reads=2, writes=2),
+    "ycsb-u": lambda keys: YCSBWorkload(num_keys=keys, reads=2, writes=2),
+    "ycsb-z": lambda keys: YCSBWorkload(
+        num_keys=keys, reads=2, writes=2, distribution="zipfian"
+    ),
+    "retwis": lambda keys: RetwisWorkload(num_users=keys),
+    "smallbank": lambda keys: SmallbankWorkload(
+        num_accounts=keys, hot_accounts=max(1, keys // 20)
+    ),
+}
+
+
+def make_workload(name: str, keys: int = 10_000) -> Workload:
+    """Build a registered workload scaled to ``keys`` population."""
+    if name == "tpcc":  # imported lazily: the loader pulls in the schema
+        from repro.workloads.tpcc import TPCCWorkload
+
+        return TPCCWorkload(num_warehouses=max(1, keys // 100))
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted([*WORKLOADS, "tpcc"]))
+        raise ValueError(f"unknown workload {name!r} (have: {known})") from None
+    return factory(keys)
+
+
 __all__ = [
     "RetwisWorkload",
     "SmallbankWorkload",
     "TxOutcome",
+    "WORKLOADS",
     "Workload",
     "YCSBWorkload",
     "ZipfGenerator",
+    "make_workload",
 ]

@@ -1,0 +1,164 @@
+"""Admission-policy invariants, driven without a simulator.
+
+Policies are pure decision functions over (now, in_flight, signals), so
+they are tested against a stub system exposing scripted LoadSignals.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AdmissionConfig
+from repro.load.admission import (
+    ADMIT,
+    DELAY,
+    SHED,
+    AdditiveIncreaseShedding,
+    NoAdmission,
+    StaticCapPolicy,
+    make_policy,
+)
+from repro.sim.node import LoadSignal
+
+
+class StubNode:
+    def __init__(self, signal: LoadSignal) -> None:
+        self._signal = signal
+
+    def load_signal(self) -> LoadSignal:
+        return self._signal
+
+
+class StubSystem:
+    """Fake `system.replicas` whose signals the test scripts."""
+
+    def __init__(self, queue_depth=0, busy_cores=0, cores=8, busy_time=0.0):
+        self.replicas = {}
+        self.set_signal(queue_depth, busy_cores, cores, busy_time)
+
+    def set_signal(self, queue_depth=0, busy_cores=0, cores=8, busy_time=0.0):
+        self.replicas = {
+            "r0": StubNode(LoadSignal(queue_depth, busy_cores, cores, busy_time))
+        }
+
+
+def test_no_admission_always_admits():
+    policy = NoAdmission(AdmissionConfig())
+    system = StubSystem(queue_depth=10_000)
+    for in_flight in (0, 1, 10_000):
+        assert policy.decide(0.0, in_flight, system) == ADMIT
+    assert policy.current_cap() is None
+
+
+def test_static_cap_sheds_at_cap_and_never_below():
+    config = AdmissionConfig(policy="static-cap", cap=8, mode="shed")
+    policy = StaticCapPolicy(config)
+    system = StubSystem()
+    decisions = [policy.decide(0.0, n, system) for n in range(16)]
+    assert decisions[:8] == [ADMIT] * 8
+    assert decisions[8:] == [SHED] * 8
+    # The invariant the satellite pins: no shed ever happened under the cap.
+    assert policy.min_in_flight_at_shed == 8
+    assert policy.min_in_flight_at_shed >= config.cap
+    assert policy.stats["shed"] == 8
+
+
+def test_static_cap_delay_mode_parks_instead_of_shedding():
+    config = AdmissionConfig(policy="static-cap", cap=4, mode="delay")
+    policy = StaticCapPolicy(config)
+    system = StubSystem()
+    assert policy.decide(0.0, 3, system) == ADMIT
+    assert policy.decide(0.0, 4, system) == DELAY
+    assert policy.stats["delayed"] == 1
+    assert policy.min_in_flight_at_shed is None
+
+
+def test_static_cap_validates_config():
+    with pytest.raises(ValueError):
+        StaticCapPolicy(AdmissionConfig(policy="static-cap", cap=0))
+    with pytest.raises(ValueError):
+        StaticCapPolicy(AdmissionConfig(policy="static-cap", mode="teleport"))
+
+
+def aimd_config(**overrides):
+    defaults = dict(
+        policy="aimd",
+        initial_cap=8.0,
+        min_cap=2.0,
+        additive_increase=4.0,
+        decrease_factor=0.5,
+        sample_interval=0.005,
+        queue_high_water=4.0,
+        target_utilization=0.95,
+    )
+    defaults.update(overrides)
+    return AdmissionConfig(**defaults)
+
+
+def test_aimd_grows_cap_while_healthy():
+    policy = AdditiveIncreaseShedding(aimd_config())
+    system = StubSystem(queue_depth=0)
+    # Step at 2x the sample interval so float accumulation can't make a
+    # step land a hair under the interval and be skipped.
+    for i in range(5):
+        policy.decide(i * 0.01, 0, system)
+    assert policy.cap == pytest.approx(8.0 + 5 * 4.0)
+    assert policy.stats["increases"] == 5
+    assert policy.stats["decreases"] == 0
+
+
+def test_aimd_backs_off_on_queue_backlog():
+    policy = AdditiveIncreaseShedding(aimd_config())
+    system = StubSystem(queue_depth=0)
+    policy.decide(0.0, 0, system)  # healthy: 8 -> 12
+    system.set_signal(queue_depth=64)  # backlog/core = 8 > high water 4
+    policy.decide(0.01, 0, system)
+    assert policy.cap == pytest.approx(6.0)  # 12 * 0.5
+    assert policy.stats["decreases"] == 1
+
+
+def test_aimd_backs_off_on_utilization():
+    policy = AdditiveIncreaseShedding(aimd_config())
+    system = StubSystem(queue_depth=0, busy_time=0.0)
+    policy.decide(0.0, 0, system)  # first sample: 8 -> 12
+    # 0.01 s later every one of the 8 cores was busy the whole time.
+    system.set_signal(queue_depth=0, busy_time=0.08)
+    policy.decide(0.01, 0, system)
+    assert policy.stats["decreases"] == 1
+    assert policy.cap == pytest.approx(6.0)
+
+
+def test_aimd_cap_never_falls_below_min():
+    policy = AdditiveIncreaseShedding(aimd_config(initial_cap=4.0, min_cap=2.0))
+    system = StubSystem(queue_depth=640)
+    now = 0.0
+    for _ in range(10):
+        policy.decide(now, 0, system)
+        now += 0.01
+    assert policy.cap == pytest.approx(2.0)
+
+
+def test_aimd_respects_sample_interval():
+    policy = AdditiveIncreaseShedding(aimd_config(sample_interval=0.005))
+    system = StubSystem()
+    policy.decide(0.0, 0, system)
+    policy.decide(0.001, 0, system)  # too soon: no new sample
+    assert policy.stats["increases"] == 1
+
+
+def test_aimd_sheds_over_cap_and_records_floor():
+    policy = AdditiveIncreaseShedding(aimd_config(initial_cap=4.0))
+    system = StubSystem()
+    assert policy.decide(0.0, 20, system) == SHED
+    assert policy.decide(0.0, 3, system) == ADMIT
+    assert policy.min_in_flight_at_shed == 20
+
+
+def test_make_policy_dispatch():
+    assert isinstance(make_policy(AdmissionConfig(policy="none")), NoAdmission)
+    assert isinstance(
+        make_policy(AdmissionConfig(policy="static-cap")), StaticCapPolicy
+    )
+    assert isinstance(make_policy(AdmissionConfig(policy="aimd")), AdditiveIncreaseShedding)
+    with pytest.raises(ValueError):
+        make_policy(AdmissionConfig(policy="vibes"))

@@ -1,0 +1,115 @@
+"""Arrival-process properties: reproducibility, mean rates, validation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import ArrivalConfig
+from repro.load.arrivals import (
+    BurstyArrivals,
+    PoissonArrivals,
+    UniformArrivals,
+    from_config,
+)
+
+
+def drain(process, rng, count=20_000):
+    gaps = []
+    now = 0.0
+    for _ in range(count):
+        gap = process.next_interarrival(rng, now)
+        assert gap >= 0.0
+        gaps.append(gap)
+        now += gap
+    return gaps
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: PoissonArrivals(500.0),
+        lambda: UniformArrivals(500.0, spread=0.5),
+        lambda: BurstyArrivals(500.0, peak_ratio=3.0, on_fraction=0.3, cycle=0.02),
+    ],
+    ids=["poisson", "uniform", "bursty"],
+)
+def test_seeded_sequences_are_reproducible(make):
+    gaps_a = drain(make(), random.Random("load-seed"), count=2_000)
+    gaps_b = drain(make(), random.Random("load-seed"), count=2_000)
+    assert gaps_a == gaps_b
+
+
+@pytest.mark.parametrize(
+    "make,tolerance",
+    [
+        (lambda: PoissonArrivals(1000.0), 0.05),
+        (lambda: UniformArrivals(1000.0, spread=0.5), 0.05),
+        (lambda: UniformArrivals(1000.0, spread=0.0), 1e-9),
+        # MMPP mean converges more slowly (dwell-time variance).
+        (lambda: BurstyArrivals(1000.0, peak_ratio=3.0, on_fraction=0.3), 0.10),
+    ],
+    ids=["poisson", "uniform", "comb", "bursty"],
+)
+def test_mean_rate_matches_configuration(make, tolerance):
+    gaps = drain(make(), random.Random(42))
+    measured_rate = len(gaps) / sum(gaps)
+    assert measured_rate == pytest.approx(1000.0, rel=tolerance)
+
+
+def test_uniform_gaps_stay_in_band():
+    process = UniformArrivals(1000.0, spread=0.25)
+    rng = random.Random(7)
+    for gap in drain(process, rng, count=5_000):
+        assert 0.00075 <= gap <= 0.00125
+
+
+def test_bursty_modulates_between_two_rates():
+    """ON-phase gaps cluster near 1/on_rate, OFF near 1/off_rate."""
+    process = BurstyArrivals(1000.0, peak_ratio=3.0, on_fraction=0.3, cycle=0.02)
+    assert process.on_rate == pytest.approx(3000.0)
+    assert process.off_rate == pytest.approx(1000.0 * 0.1 / 0.7)
+    gaps = drain(process, random.Random(11))
+    # A 21x rate split must show up as clearly bimodal gap lengths.
+    short = sum(1 for g in gaps if g < 1 / 1000.0)
+    assert 0.2 < short / len(gaps) < 0.99
+
+
+def test_bursty_degenerate_off_state():
+    """peak_ratio * on_fraction == 1: OFF rate is 0, arrivals must still flow."""
+    process = BurstyArrivals(1000.0, peak_ratio=2.0, on_fraction=0.5, cycle=0.02)
+    assert process.off_rate == 0.0
+    gaps = drain(process, random.Random(3), count=2_000)
+    assert len(gaps) == 2_000
+
+
+@pytest.mark.parametrize(
+    "ctor",
+    [
+        lambda: PoissonArrivals(0.0),
+        lambda: PoissonArrivals(-1.0),
+        lambda: UniformArrivals(100.0, spread=1.0),
+        lambda: UniformArrivals(100.0, spread=-0.1),
+        lambda: BurstyArrivals(100.0, peak_ratio=1.0),
+        lambda: BurstyArrivals(100.0, peak_ratio=4.0, on_fraction=0.5),
+        lambda: BurstyArrivals(100.0, on_fraction=0.0),
+        lambda: BurstyArrivals(100.0, cycle=0.0),
+    ],
+)
+def test_invalid_parameters_rejected(ctor):
+    with pytest.raises(ValueError):
+        ctor()
+
+
+def test_from_config_dispatch():
+    assert isinstance(from_config(ArrivalConfig(process="poisson")), PoissonArrivals)
+    uniform = from_config(ArrivalConfig(process="uniform", rate=50.0, spread=0.1))
+    assert isinstance(uniform, UniformArrivals)
+    assert uniform.rate == 50.0
+    assert uniform.spread == 0.1
+    bursty = from_config(ArrivalConfig(process="bursty", rate=200.0, peak_ratio=2.0))
+    assert isinstance(bursty, BurstyArrivals)
+    assert bursty.on_rate == pytest.approx(400.0)
+    with pytest.raises(ValueError):
+        from_config(ArrivalConfig(process="fractal"))

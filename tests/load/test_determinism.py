@@ -1,0 +1,98 @@
+"""The load subsystem's determinism guard (golden digests).
+
+The contract (mirrors the fault injector's): with the load subsystem
+unconfigured, closed-loop benchmark traces are byte-identical to the
+tree before ``repro.load`` existed.  The digests below were captured on
+main immediately before the load changes landed — the client timestamp
+guard, LoadSignal plumbing, and monitor counters must not perturb a
+single event.  If an intentional protocol change shifts them, recapture
+with this file's ``capture()`` helper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.tapir.system import TapirSystem
+from repro.baselines.txsmr.system import TxSMRSystem
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.core.system import BasilSystem
+from repro.trace import Tracer
+from repro.trace.export import trace_digest
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+GOLDEN = {
+    # system: (digest, commits, aborts, events_processed)
+    "basil": (
+        "c8da3e42f0e29d8ed4231724e672d0d12f22b5cd37f1aae8e701881df4f6de43",
+        16, 14, 14879,
+    ),
+    "tapir": (
+        "af2dfcedc2f8f890b970094862c4ff302292649a309c1c50a57d976a2b86b1c3",
+        93, 7, 6658,
+    ),
+    "txsmr": (
+        "d3124e2a7ebe1a9aafcc281f0cead805e206f2934a366b55027b0c632c04d0bd",
+        12, 0, 2036,
+    ),
+}
+
+
+def capture(kind: str):
+    config = SystemConfig(f=1, num_shards=1, batch_size=4, seed=7)
+    if kind == "basil":
+        system = BasilSystem(config)
+        workload = YCSBWorkload(num_keys=300, reads=2, writes=2, distribution="zipfian")
+    elif kind == "tapir":
+        system = TapirSystem(config)
+        workload = YCSBWorkload(num_keys=300, reads=2, writes=2)
+    else:
+        system = TxSMRSystem(config, protocol="pbft")
+        workload = SmallbankWorkload(num_accounts=500, hot_accounts=50)
+    tracer = Tracer()
+    runner = ExperimentRunner(
+        system, workload, num_clients=4, duration=0.05, warmup=0.02, tracer=tracer
+    )
+    result = runner.run()
+    return trace_digest(tracer), result, system
+
+
+@pytest.mark.parametrize("kind", sorted(GOLDEN))
+def test_closed_loop_digests_unchanged_by_load_subsystem(kind):
+    digest, result, system = capture(kind)
+    want_digest, commits, aborts, events = GOLDEN[kind]
+    assert result.commits == commits
+    assert result.aborts == aborts
+    assert system.sim.events_processed == events
+    assert digest == want_digest
+
+
+def test_open_loop_runs_are_seed_deterministic():
+    """Same seed -> byte-identical open-loop traces (the other direction)."""
+    from repro.config import AdmissionConfig, ArrivalConfig
+    from repro.load.generator import OpenLoopGenerator
+
+    def run():
+        system = BasilSystem(SystemConfig(f=1, num_shards=1, batch_size=4, seed=7))
+        workload = YCSBWorkload(num_keys=300, reads=2, writes=2)
+        tracer = Tracer()
+        gen = OpenLoopGenerator(
+            system,
+            workload,
+            ArrivalConfig(process="bursty", rate=1_200.0),
+            admission=AdmissionConfig(policy="aimd"),
+            duration=0.05,
+            warmup=0.02,
+            proxies=4,
+            tracer=tracer,
+        )
+        result = gen.run()
+        return trace_digest(tracer), result
+
+    digest_a, result_a = run()
+    digest_b, result_b = run()
+    assert digest_a == digest_b
+    assert result_a.commits == result_b.commits
+    assert result_a.shed_count == result_b.shed_count

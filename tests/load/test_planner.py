@@ -1,0 +1,135 @@
+"""Knee detection and report plumbing (no simulation; synthetic curves)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.load.planner import (
+    SweepPoint,
+    SweepReport,
+    detect_knee,
+    to_bench_entries,
+    write_bench_file,
+    write_report,
+)
+
+
+def point(offered, goodput, p99=0.01, policy="none"):
+    return SweepPoint(
+        offered=offered,
+        offered_tps=offered,
+        goodput_tps=goodput,
+        mean_latency=p99 / 3,
+        p99_latency=p99,
+        commit_rate=1.0,
+        shed=0,
+        gave_up=0,
+        policy=policy,
+    )
+
+
+def test_knee_at_flattening_is_current_point():
+    points = [
+        point(1000, 1000), point(2000, 2000),
+        point(3000, 2300),  # marginal 0.3 < 0.5: the curve tops out here
+        point(4000, 2400),
+    ]
+    assert detect_knee(points).offered == 3000
+
+
+def test_knee_before_goodput_decline():
+    points = [point(1000, 1000), point(2000, 1900), point(3000, 1200)]
+    assert detect_knee(points).offered == 2000
+
+
+def test_knee_before_p99_inflection():
+    points = [
+        point(1000, 1000, p99=0.01),
+        point(2000, 1950, p99=0.012),
+        point(3000, 2900, p99=0.2),  # 16x jump: queue ran away
+    ]
+    assert detect_knee(points).offered == 2000
+
+
+def test_unsaturated_sweep_returns_best_point():
+    points = [point(1000, 990), point(2000, 1980), point(3000, 2970)]
+    assert detect_knee(points).offered == 3000
+
+
+def test_detect_knee_sorts_and_rejects_empty():
+    shuffled = [point(3000, 1200), point(1000, 1000), point(2000, 1900)]
+    assert detect_knee(shuffled).offered == 2000
+    with pytest.raises(ValueError):
+        detect_knee([])
+
+
+def make_report():
+    points = [point(1000, 1000), point(2000, 1900), point(3000, 1200)]
+    return SweepReport(
+        system="basil",
+        workload="ycsb-t",
+        seed=1,
+        process="poisson",
+        points=points,
+        knee_offered=2000,
+        knee_goodput=1900,
+        closed_loop_peak=2000.0,
+        cross_check_error=0.05,
+        cross_check_ok=True,
+        overload=[point(4000, 400), point(4000, 1800, policy="aimd")],
+        wall_s=1.5,
+    )
+
+
+def test_report_json_roundtrip(tmp_path):
+    report = make_report()
+    path = tmp_path / "sweep.json"
+    write_report(str(path), report)
+    data = json.loads(path.read_text())
+    assert data["schema"] == "repro.load.sweep/v1"
+    assert data["knee"] == {"offered": 2000, "goodput": 1900}
+    assert data["cross_check"]["ok"] is True
+    assert len(data["points"]) == 3
+    assert [p["policy"] for p in data["overload"]] == ["none", "aimd"]
+
+
+def test_bench_entries_cover_knee_and_overload():
+    entries = to_bench_entries(make_report())
+    names = [e["bench"] for e in entries]
+    assert names == [
+        "load-basil-ycsb-t-knee",
+        "load-basil-ycsb-t-2x-none",
+        "load-basil-ycsb-t-2x-aimd",
+    ]
+    assert entries[0]["sim_tput"] == 1900
+
+
+def test_write_bench_file_merges_existing_baseline(tmp_path):
+    """Load rows must extend, not shadow, the newest perf baseline."""
+    baseline = [
+        {"bench": "kernel-timers-200000", "wall_s": 0.5, "events_per_s": 1e5,
+         "sim_tput": 0.0},
+    ]
+    (tmp_path / "BENCH_PR3.json").write_text(json.dumps(baseline))
+    out = tmp_path / "BENCH_PR4.json"
+    benches = write_bench_file(str(out), make_report(), root=str(tmp_path))
+    assert "kernel-timers-200000" in benches
+    assert "load-basil-ycsb-t-knee" in benches
+    merged = {e["bench"]: e for e in json.loads(out.read_text())}
+    # The kernel entry survives verbatim so the perf gate keeps its baseline.
+    assert merged["kernel-timers-200000"]["wall_s"] == 0.5
+    assert merged["load-basil-ycsb-t-2x-aimd"]["sim_tput"] == 1800
+
+
+def test_write_bench_file_without_baseline(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    out = empty / "BENCH_X.json"
+    benches = write_bench_file(str(out), make_report(), root=str(empty))
+    assert benches == [
+        "load-basil-ycsb-t-2x-aimd",
+        "load-basil-ycsb-t-2x-none",
+        "load-basil-ycsb-t-knee",
+    ]

@@ -1,0 +1,71 @@
+"""End-to-end load-subsystem smoke (`make load-smoke`, marker load_smoke).
+
+Small enough to ride in tier-1: a 3-point mini-sweep with an explicit
+ladder (no closed-loop anchor, no overload probes) plus the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.load.__main__ import main as load_main
+from repro.load.planner import sweep
+
+pytestmark = pytest.mark.load_smoke
+
+
+def test_mini_sweep_end_to_end(tmp_path):
+    report = sweep(
+        "basil",
+        "ycsb-t",
+        seed=3,
+        loads=[600, 1200, 1800],
+        duration=0.05,
+        warmup=0.02,
+        keys=400,
+        proxies=6,
+        with_closed_loop=False,
+        with_overload=False,
+        verbose=False,
+    )
+    assert len(report.points) == 3
+    assert [p.offered for p in report.points] == [600, 1200, 1800]
+    assert all(p.goodput_tps > 0 for p in report.points)
+    assert report.knee_offered in {600, 1200, 1800}
+    assert report.closed_loop_peak is None
+    data = report.to_dict()
+    assert data["schema"] == "repro.load.sweep/v1"
+    json.dumps(data)  # must be serializable as-is
+
+
+def test_cli_list_and_point(capsys):
+    assert load_main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "basil" in out and "aimd" in out and "ycsb-t" in out
+
+    rc = load_main([
+        "point", "800", "--duration", "0.04", "--warmup", "0.01",
+        "--keys", "300", "--proxies", "4",
+    ])
+    assert rc == 0
+    assert "goodput" in capsys.readouterr().out
+
+
+def test_cli_sweep_writes_reports(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    bench = tmp_path / "BENCH_TEST.json"
+    rc = load_main([
+        "sweep", "--quick", "--loads", "600", "1200",
+        "--no-closed-loop", "--no-overload",
+        "--duration", "0.04", "--warmup", "0.01", "--keys", "300",
+        "--proxies", "4", "--out", str(out), "--bench-out", str(bench),
+    ])
+    assert rc == 0
+    report = json.loads(out.read_text())
+    assert len(report["points"]) == 2
+    benches = {e["bench"] for e in json.loads(bench.read_text())}
+    assert "load-basil-ycsb-t-knee" in benches
+    # The merge keeps the repo's existing perf baseline entries alive.
+    assert any(b.startswith("kernel-") for b in benches)

@@ -19,9 +19,21 @@ def test_histogram_mean_and_percentiles():
     for v in [1.0, 2.0, 3.0, 4.0]:
         h.record(v)
     assert h.mean() == pytest.approx(2.5)
-    assert h.percentile(50) == 2.0
+    # Linear interpolation: p50 of [1, 2, 3, 4] sits between the middle
+    # samples (numpy's 'linear' mode), not at the nearest rank.
+    assert h.percentile(50) == pytest.approx(2.5)
+    assert h.percentile(0) == 1.0
     assert h.percentile(100) == 4.0
     assert h.max() == 4.0
+
+
+def test_histogram_percentile_interpolates():
+    h = Histogram("lat")
+    for v in [0.0, 10.0]:
+        h.record(v)
+    assert h.percentile(25) == pytest.approx(2.5)
+    assert h.percentile(99) == pytest.approx(9.9)
+    assert h.percentile(1) == pytest.approx(0.1)
 
 
 def test_histogram_empty_safe():
@@ -35,10 +47,43 @@ def test_histogram_percentile_bounds(samples):
     h = Histogram("x")
     for s in samples:
         h.record(s)
-    assert min(samples) <= h.percentile(0) <= max(samples)
+    assert h.percentile(0) == min(samples)
     assert h.percentile(100) == max(samples)
     lo, hi = h.percentile(25), h.percentile(75)
     assert lo <= hi
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1),
+    st.floats(min_value=0, max_value=100),
+    st.floats(min_value=0, max_value=100),
+)
+def test_histogram_percentile_monotone_and_bounded(samples, p, q):
+    """Interpolation keeps percentile() monotone in p and inside the range.
+
+    The old nearest-rank rule jumped discontinuously at extreme p with
+    few samples; interpolation must never regress below min or above max
+    and must order any two query points consistently.
+    """
+    h = Histogram("x")
+    for s in samples:
+        h.record(s)
+    lo, hi = min(p, q), max(p, q)
+    assert h.percentile(lo) <= h.percentile(hi)
+    assert min(samples) <= h.percentile(p) <= max(samples)
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=2))
+def test_histogram_percentile_matches_statistics_quantiles(samples):
+    """Our interpolation is statistics.quantiles(method='inclusive')."""
+    import statistics
+
+    h = Histogram("x")
+    for s in samples:
+        h.record(s)
+    quartiles = statistics.quantiles(samples, n=4, method="inclusive")
+    for p, expect in zip((25, 50, 75), quartiles):
+        assert h.percentile(p) == pytest.approx(expect)
 
 
 def test_histogram_single_sample():
@@ -110,3 +155,26 @@ def test_tagged_commits_and_aborts():
     mon.record_abort(now=1.0, tag="payment")
     assert mon.counter("commits/payment").value == 1
     assert mon.counter("aborts/payment").value == 1
+
+
+def test_open_loop_accounting():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    for _ in range(4):
+        mon.record_offered(now=1.0)
+    mon.record_admitted(now=1.0)
+    mon.record_shed(now=1.0)
+    mon.record_offered(now=50.0)  # outside the window: ignored
+    mon.record_shed(now=50.0)
+    mon.record_commit(now=2.0, latency=0.01, fast_path=True)
+    assert mon.counter("offered").value == 4
+    assert mon.counter("admitted").value == 1
+    assert mon.shed_count() == 1
+    assert mon.offered_tps() == pytest.approx(0.4)
+    assert mon.goodput_tps() == mon.throughput()
+
+
+def test_open_loop_metrics_zero_in_closed_loop():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    mon.record_commit(now=1.0, latency=0.01, fast_path=True)
+    assert mon.offered_tps() == 0.0
+    assert mon.shed_count() == 0
