@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -40,6 +40,13 @@ load-smoke:
 
 load-sweep:
 	python -m repro.load sweep --system basil --workload ycsb-t
+
+obs-smoke:
+	pytest tests -m obs_smoke -q
+	REPRO_QUICK=1 python examples/health_dashboard.py
+
+obs-check:
+	python -m repro.obs check --baseline OBS_BASELINE.json
 
 examples:
 	python examples/quickstart.py

@@ -20,6 +20,9 @@ figure subcommand (``--app``/``--dist`` belong to their subcommands).
 (:mod:`repro.trace`), prints a per-phase latency breakdown under each
 table row, and writes Chrome ``trace_event`` JSON files (default
 ``traces/``) viewable in ``chrome://tracing`` or Perfetto.
+``--obs [DIR]`` samples time-series telemetry (:mod:`repro.obs`) during
+every benchmark and writes one RunReport JSON per run (default
+``obs/``) for ``python -m repro.obs compare``.
 """
 
 from __future__ import annotations
@@ -92,6 +95,12 @@ def main(argv: list[str] | None = None) -> int:
         "trace_event JSON into DIR (default: traces/) and print the "
         "per-phase latency breakdown",
     )
+    parser.add_argument(
+        "--obs", nargs="?", const="obs", default=None, metavar="DIR",
+        help="sample telemetry during every benchmark and write a "
+        "repro.obs RunReport JSON per run into DIR (default: obs/); "
+        "reports feed `python -m repro.obs compare`",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p4 = sub.add_parser("fig4", help="application throughput/latency (4 systems)")
@@ -114,12 +123,14 @@ def main(argv: list[str] | None = None) -> int:
     # subcommand name as its DIR operand; disambiguate in its favor.
     # (A directory actually named like a subcommand: use ``--trace=X``.)
     commands = {"fig4", "fig5a", "fig5b", "fig5c", "fig6a", "fig6b", "fig7", "all"}
-    if "--trace" in argv:
-        where = argv.index("--trace")
-        if where + 1 < len(argv) and argv[where + 1] in commands:
-            argv.insert(where + 1, "traces")
+    for flag, default_dir in (("--trace", "traces"), ("--obs", "obs")):
+        if flag in argv:
+            where = argv.index(flag)
+            if where + 1 < len(argv) and argv[where + 1] in commands:
+                argv.insert(where + 1, default_dir)
     args = parser.parse_args(argv)
     exp.set_trace_dir(args.trace)
+    exp.set_obs_dir(args.obs)
     args.func(args)
     return 0
 

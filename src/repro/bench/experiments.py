@@ -63,16 +63,37 @@ def set_trace_dir(path: str | None) -> None:
     _TRACE_DIR = path
 
 
+#: When set (see :func:`set_obs_dir`), every ``_run`` attaches a fresh
+#: :class:`repro.obs.ObsRecorder` and writes a RunReport JSON per
+#: benchmark into the dir.
+_OBS_DIR: str | None = None
+
+
+def set_obs_dir(path: str | None) -> None:
+    """Enable (or disable with ``None``) telemetry for every benchmark run."""
+    global _OBS_DIR
+    if path is not None:
+        import os
+
+        os.makedirs(path, exist_ok=True)
+    _OBS_DIR = path
+
+
 def _run(system, workload, clients, scale: Scale, name: str, **kwargs) -> BenchResult:
     tracer = None
     if _TRACE_DIR is not None:
         from repro.trace import Tracer
 
         tracer = Tracer()
+    recorder = None
+    if _OBS_DIR is not None:
+        from repro.obs import ObsRecorder
+
+        recorder = ObsRecorder()
     runner = ExperimentRunner(
         system, workload, num_clients=clients,
         duration=scale.duration, warmup=scale.warmup, name=name,
-        tracer=tracer, **kwargs,
+        tracer=tracer, recorder=recorder, **kwargs,
     )
     result = runner.run()
     if tracer is not None:
@@ -86,6 +107,19 @@ def _run(system, workload, clients, scale: Scale, name: str, **kwargs) -> BenchR
         result.extra["trace_path"] = path
         print(render_trace_summary(tracer, f"{name} phase breakdown"))
         print(f"  trace: {path} (digest {result.extra['trace_digest'][:12]})")
+    if recorder is not None:
+        import os
+
+        from repro.obs import write_report
+
+        report = recorder.finish(
+            name, bench=result, trace_digest=result.extra.get("trace_digest")
+        )
+        path = os.path.join(_OBS_DIR, name.replace("/", "-") + ".obs.json")
+        write_report(path, report)
+        result.extra["obs_path"] = path
+        result.extra["health"] = report.health
+        print(f"  obs: {path} (health {report.health})")
     return result
 
 

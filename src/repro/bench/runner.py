@@ -74,6 +74,7 @@ class ExperimentRunner:
         verify_history: bool = False,
         tracer: Any = None,
         injector: Any = None,
+        recorder: Any = None,
         drain: float = 0.2,
         cancel_at_end: bool = True,
     ) -> None:
@@ -97,6 +98,9 @@ class ExperimentRunner:
         #: Optional repro.faults.FaultInjector; armed against the system
         #: at run() so its schedule unfolds during the benchmark.
         self.injector = injector
+        #: Optional repro.obs.ObsRecorder; attached to the system at run()
+        #: so telemetry is sampled for the whole benchmark.
+        self.recorder = recorder
         #: Fault-free time simulated after the run before verify_history
         #: (drains in-flight writebacks and recoveries).
         self.drain = drain
@@ -117,6 +121,8 @@ class ExperimentRunner:
             self.injector.attach(self.system)
         self.system.load(self.workload.load_data())
         end_time = self.warmup + self.duration + self.warmup  # + cool-down
+        if self.recorder is not None:
+            self.recorder.attach(self.system, until=end_time)
         tasks = []
         self.correct_clients = 0
         self.byz_clients = 0
@@ -184,12 +190,16 @@ class ExperimentRunner:
         extra = {}
         correct = getattr(self, "correct_clients", self.num_clients)
         if getattr(self, "byz_clients", 0):
-            correct_commits = monitor.counter("commits/correct").value
+            correct_commits = monitor.counter("commits", tag="correct").value
             extra["correct_throughput"] = correct_commits / self.duration
             extra["correct_tps_per_client"] = (
                 correct_commits / self.duration / max(1, correct)
             )
-            extra["byz_commits"] = monitor.counter("commits/byz").value
+            extra["byz_commits"] = monitor.counter("commits", tag="byz").value
+        reasons = self._abort_reasons()
+        if reasons:
+            extra["abort_reasons"] = reasons
+            extra["abort_taxonomy"] = self._taxonomy_rollup(reasons)
         return BenchResult(
             name=self.name,
             throughput=monitor.throughput(),
@@ -203,3 +213,26 @@ class ExperimentRunner:
             dropped=getattr(getattr(self.system, "network", None), "messages_dropped", 0),
             extra=extra,
         )
+
+    def _abort_reasons(self) -> dict[str, int]:
+        """Sum per-replica MVTSO abort reasons over the whole system.
+
+        Basil replicas tally these unconditionally (plain dict increments,
+        no telemetry needed); baseline systems have no such dict and
+        contribute nothing.
+        """
+        totals: dict[str, int] = {}
+        for replica in getattr(self.system, "replicas", {}).values():
+            for reason, count in getattr(replica, "abort_reasons", {}).items():
+                totals[reason] = totals.get(reason, 0) + count
+        return dict(sorted(totals.items()))
+
+    @staticmethod
+    def _taxonomy_rollup(reasons: dict[str, int]) -> dict[str, int]:
+        from repro.core.mvtso import classify_abort
+
+        rollup: dict[str, int] = {}
+        for reason, count in reasons.items():
+            bucket = classify_abort(reason)
+            rollup[bucket] = rollup.get(bucket, 0) + count
+        return dict(sorted(rollup.items()))

@@ -63,6 +63,10 @@ class ByzantineClient(BasilClient):
         if self._byz_rng.random() >= self.faulty_fraction:
             return await super().commit(tx, dep_records)
         self.faulty_txns += 1
+        if self.sim.metrics.enabled:
+            self.sim.metrics.counter(
+                "byz_faulty_txns_total", behaviour=self.behaviour
+            ).add()
         if self.behaviour == "stall-early":
             return await self._stall_early(tx)
         if self.behaviour == "stall-late":
@@ -108,6 +112,8 @@ class ByzantineClient(BasilClient):
         self.equiv_attempts += 1
         if (can_commit and abort_tally is not None) or forced:
             self.equiv_successes += 1
+            if self.sim.metrics.enabled:
+                self.sim.metrics.counter("byz_equivocations_total").add()
             members = self.sharder.members(self.sharder.s_log(tx))
             half = len(members) // 2
             commit_votes = tuple(t for t in commit_tallies.values() if t is not None)

@@ -97,6 +97,16 @@ class TransactionSession:
                 reads=len(self.builder.reads), writes=len(self.builder.writes),
             )
         outcome = await self.client.commit(tx, self.dep_records)
+        metrics = self.client.sim.metrics
+        if metrics.enabled:
+            if outcome.decision is Decision.COMMIT:
+                metrics.counter("basil_txn_commits_total").add()
+                if outcome.fast_path:
+                    metrics.counter("basil_txn_fast_commits_total").add()
+            else:
+                metrics.counter(
+                    "basil_txn_aborts_total", taxonomy="prepare-abort"
+                ).add()
         return TransactionResult(
             committed=outcome.decision is Decision.COMMIT,
             fast_path=outcome.fast_path,

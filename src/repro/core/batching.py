@@ -87,6 +87,10 @@ class ReplyBatcher:
             self._timer = None
         batch, self._pending = self._pending, []
         self.batches_flushed += 1
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter("basil_batches_flushed_total").add()
+            metrics.histogram("basil_batch_size").record(len(batch))
         self._spawn(self._sign_batch(batch), name="batch-sign")
 
     async def _sign_batch(self, batch: list[tuple[Any, Future]]) -> None:

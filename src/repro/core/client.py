@@ -406,6 +406,8 @@ class BasilClient(Node):
         tallies: dict[int, VoteTally] = {}
         conflicts: dict[Digest, Any] = {}
         stall_rounds = 0
+        metrics = self.sim.metrics
+        quorum_begin = self.sim.now
         while len(outcomes) < len(involved):
             try:
                 sender, message = await self.sim.wait_for(
@@ -420,6 +422,10 @@ class BasilClient(Node):
                     classified = collector.classify(complete=True)
                     if classified is not None:
                         outcomes[shard], tallies[shard] = classified
+                        if metrics.enabled:
+                            metrics.histogram(
+                                "basil_quorum_latency_seconds", shard=str(shard)
+                            ).record(self.sim.now - quorum_begin)
                 if len(outcomes) == len(involved):
                     break
                 stall_rounds += 1
@@ -447,6 +453,10 @@ class BasilClient(Node):
             classified = collector.classify(complete=collector.replies >= self.config.n)
             if classified is not None:
                 outcomes[shard], tallies[shard] = classified
+                if metrics.enabled:
+                    metrics.histogram(
+                        "basil_quorum_latency_seconds", shard=str(shard)
+                    ).record(self.sim.now - quorum_begin)
         return outcomes, tallies, conflicts
 
     async def _validated_vote(
@@ -641,15 +651,27 @@ class BasilClient(Node):
         from repro.core.fallback import RecoveryCoordinator
 
         tracer = self.sim.tracer
+        metrics = self.sim.metrics
         fb_begin = self.sim.now
+        if metrics.enabled:
+            metrics.counter("basil_fallback_invocations_total").add()
         task = self.sim.create_task(
             RecoveryCoordinator(self, tx).run(), name=f"{self.name}/finish"
         )
         self._finishing[tx.txid] = task
         try:
-            return await task
+            decision, cert = await task
+            if metrics.enabled and decision is Decision.ABORT:
+                metrics.counter(
+                    "basil_txn_aborts_total", taxonomy="fallback-abort"
+                ).add()
+            return decision, cert
         finally:
             self._finishing.pop(tx.txid, None)
+            if metrics.enabled:
+                metrics.histogram("basil_fallback_seconds").record(
+                    self.sim.now - fb_begin
+                )
             if tracer.enabled:
                 tracer.complete(
                     self.name, "txn", "fallback", fb_begin, self.sim.now,

@@ -68,6 +68,31 @@ class CheckStatus(enum.Enum):
     PREPARED = "prepared"
 
 
+#: Coarse abort-reason taxonomy over :attr:`CheckResult.reason`, the
+#: buckets observability reports use (see docs/observability.md):
+#: ``stale-read`` — the transaction read a snapshot a concurrent writer
+#: already superseded; ``prepare-conflict`` — its own writes lost an
+#: MVTSO race (invalidating a read, fenced by an RTS, or outside the
+#: time bound); ``dep-abort`` — a dependency it read from aborted or was
+#: invalid; ``misbehavior`` — the client broke protocol rules.  Two more
+#: buckets are produced outside MVTSO-Check: ``fallback-abort`` (decided
+#: ABORT via the fallback path) and ``shed`` (admission control).
+ABORT_TAXONOMY = {
+    "missed-write": "stale-read",
+    "invalidates-read": "prepare-conflict",
+    "rts-fence": "prepare-conflict",
+    "timestamp-bound": "prepare-conflict",
+    "invalid-dep": "dep-abort",
+    "dep-aborted": "dep-abort",
+    "read-from-future": "misbehavior",
+}
+
+
+def classify_abort(reason: str) -> str:
+    """Map a fine-grained MVTSO-Check reason onto the coarse taxonomy."""
+    return ABORT_TAXONOMY.get(reason, "other")
+
+
 @dataclass(frozen=True)
 class CheckResult:
     status: CheckStatus

@@ -63,6 +63,7 @@ from repro.core.mvtso import (
     TxPhase,
     TxState,
     apply_commit,
+    classify_abort,
     mvtso_check,
     undo_prepare,
 )
@@ -105,6 +106,9 @@ class BasilReplica(Node):
         self.tx_states: dict[Digest, TxState] = {}
         #: Prepare requests parked on undecided dependencies (stats only).
         self.prepares_waiting = 0
+        #: MVTSO-Check abort reasons seen here (fine-grained, always on;
+        #: aggregated into BenchResult.extra and the obs abort taxonomy).
+        self.abort_reasons: dict[str, int] = {}
         #: Eviction accounting (Sec 4.1/6.4): reads served and decisions
         #: finalized per client id, to spot clients that plant read
         #: timestamps or prepares but never finish transactions.
@@ -290,6 +294,20 @@ class BasilReplica(Node):
         result = mvtso_check(
             self.store, self.tx_states, tx, self.local_time, self.config.delta
         )
+        if result.status is not CheckStatus.PREPARED:
+            reason = result.reason or "unknown"
+            self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter(
+                "basil_mvtso_checks_total", status=result.status.value
+            ).add()
+            if result.status is not CheckStatus.PREPARED:
+                metrics.counter(
+                    "basil_mvtso_aborts_total",
+                    reason=result.reason or "unknown",
+                    taxonomy=classify_abort(result.reason),
+                ).add()
         tracer = self.sim.tracer
         if tracer.enabled:
             tracer.instant(
@@ -302,11 +320,17 @@ class BasilReplica(Node):
     async def _await_dependencies(self, state: TxState, pending: tuple[Digest, ...]) -> None:
         """Algorithm 1 lines 15-19: wait, then vote by dependency outcomes."""
         self.prepares_waiting += 1
+        wait_begin = self.sim.now
         try:
             waits = [self.tx_states[d].decision_signal.wait() for d in pending]
             decisions = await self.sim.gather(waits)
         finally:
             self.prepares_waiting -= 1
+            metrics = self.sim.metrics
+            if metrics.enabled:
+                metrics.histogram("basil_dependency_wait_seconds").record(
+                    self.sim.now - wait_begin
+                )
         if state.vote is not None or state.decided:
             return
         if all(d is Decision.COMMIT for d in decisions):
@@ -554,6 +578,9 @@ class BasilReplica(Node):
             return
         state.view_current = view
         state.view_adopted_at = self.sim.now
+        metrics = self.sim.metrics
+        if metrics.enabled:
+            metrics.counter("basil_view_changes_total", node=self.name).add()
 
     async def on_elect_fb(self, sender: str, msg: ElectFBMessage) -> None:
         payload: ElectFBPayload = attestation_payload(msg.attestation)

@@ -36,6 +36,9 @@ def main(argv: list[str] | None = None) -> int:
                     help="skip tracing (faster; bundles lose their digest)")
     sw.add_argument("--out", default="fault-failures", metavar="DIR",
                     help="directory for repro bundles (default fault-failures/)")
+    sw.add_argument("--obs", nargs="?", const="obs", default=None, metavar="DIR",
+                    help="sample telemetry per case and write repro.obs "
+                    "RunReport JSONs into DIR (default: obs/)")
 
     rp = sub.add_parser("replay", help="re-execute a recorded failure bundle")
     rp.add_argument("bundle", help="path to a repro bundle JSON")
@@ -65,6 +68,7 @@ def main(argv: list[str] | None = None) -> int:
         scale=Scale() if args.full else Scale.quick(),
         out_dir=args.out,
         with_trace=not args.no_trace,
+        obs_dir=args.obs,
     )
     print(summarize(results))
     return 1 if any(not r.ok for r in results) else 0

@@ -56,6 +56,9 @@ class CaseResult:
     safety_violations: list[str] = field(default_factory=list)
     liveness_violations: list[str] = field(default_factory=list)
     bundle: str | None = None
+    #: Health verdict + report path when telemetry was recorded (obs_dir).
+    health: str | None = None
+    obs_path: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -199,12 +202,18 @@ def execute_case(
     liveness: LivenessConfig,
     config_overrides: dict[str, Any] | None = None,
     with_trace: bool = True,
+    obs_dir: str | None = None,
 ) -> CaseResult:
     """Run one fully specified case (the replay entry point)."""
     config = make_config(seed, config_overrides)
     system = build_system(system_kind, config)
     injector = FaultInjector(schedule)
     tracer = Tracer() if with_trace else None
+    recorder = None
+    if obs_dir is not None:
+        from repro.obs import ObsRecorder
+
+        recorder = ObsRecorder()
     workload = YCSBWorkload(
         num_keys=scale.keys, reads=2, writes=2, distribution="zipfian"
     )
@@ -218,6 +227,7 @@ def execute_case(
         client_factories=_client_factories(system, schedule, scale.clients),
         tracer=tracer,
         injector=injector,
+        recorder=recorder,
         cancel_at_end=False,
     )
     bench = runner.run()
@@ -256,6 +266,24 @@ def execute_case(
         case.liveness_violations.append(
             f"protocol_errors {case.protocol_errors} > max {liveness.max_protocol_errors}"
         )
+    if recorder is not None:
+        import os
+
+        from repro.obs import write_report
+
+        report = recorder.finish(
+            f"{scenario_name}/{system_kind}/seed{seed}",
+            bench=bench,
+            trace_digest=case.digest,
+            meta={"scenario": scenario_name, "faults_applied": case.faults_applied},
+        )
+        os.makedirs(obs_dir, exist_ok=True)
+        path = os.path.join(
+            obs_dir, f"{scenario_name}-{system_kind}-seed{seed}.obs.json"
+        )
+        write_report(path, report)
+        case.health = report.health
+        case.obs_path = path
     return case
 
 
@@ -265,6 +293,7 @@ def run_case(
     seed: int,
     scale: Scale,
     with_trace: bool = True,
+    obs_dir: str | None = None,
 ) -> tuple[CaseResult, FaultSchedule]:
     schedule = scenario.schedule(seed, scale)
     case = execute_case(
@@ -276,6 +305,7 @@ def run_case(
         scenario.liveness,
         scenario.config_overrides,
         with_trace=with_trace,
+        obs_dir=obs_dir,
     )
     return case, schedule
 
@@ -346,6 +376,7 @@ def sweep(
     scale: Scale | None = None,
     out_dir: str = "fault-failures",
     with_trace: bool = True,
+    obs_dir: str | None = None,
     verbose: bool = True,
 ) -> list[CaseResult]:
     """N seeds x scenario matrix x applicable systems; bundle failures."""
@@ -359,7 +390,8 @@ def sweep(
             for i in range(seeds):
                 seed = seed_base + i
                 case, schedule = run_case(
-                    scenario, kind, seed, scale, with_trace=with_trace
+                    scenario, kind, seed, scale, with_trace=with_trace,
+                    obs_dir=obs_dir,
                 )
                 if not case.ok:
                     case.bundle = write_bundle(

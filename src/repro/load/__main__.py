@@ -35,6 +35,9 @@ def _common(sub: argparse.ArgumentParser) -> None:
                      help="protocol clients in the proxy pool (default: the "
                           "closed-loop client count for sweep, 40 for point)")
     sub.add_argument("--shards", type=int, default=1)
+    sub.add_argument("--obs", nargs="?", const="obs", default=None, metavar="DIR",
+                     help="sample telemetry per point and write repro.obs "
+                          "RunReport JSONs into DIR (default: obs/)")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -94,6 +97,7 @@ def main(argv: list[str] | None = None) -> int:
             duration=args.duration, warmup=args.warmup, keys=args.keys,
             proxies=args.proxies if args.proxies is not None else 40,
             num_shards=args.shards,
+            obs_dir=args.obs,
         )
         print(point.row())
         return 0
@@ -119,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
         with_closed_loop=not args.no_closed_loop,
         with_overload=not args.no_overload,
         overload_policy=args.policy,
+        obs_dir=args.obs,
     )
     if args.out:
         write_report(args.out, report)

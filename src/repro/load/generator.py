@@ -55,6 +55,7 @@ class OpenLoopGenerator:
         name: str = "",
         tracer: Any = None,
         injector: Any = None,
+        recorder: Any = None,
     ) -> None:
         self.system = system
         self.workload = workload
@@ -75,6 +76,9 @@ class OpenLoopGenerator:
         self.name = name or f"{getattr(workload, 'name', 'load')}@{self.arrivals.rate:.0f}"
         self.tracer = tracer
         self.injector = injector
+        #: Optional repro.obs.ObsRecorder; attached at run() so open-loop
+        #: runs sample the same telemetry as closed-loop benchmarks.
+        self.recorder = recorder
         self.monitor = Monitor(
             window=MeasurementWindow(start=warmup, end=warmup + duration)
         )
@@ -96,6 +100,8 @@ class OpenLoopGenerator:
         self._tasks: list[Any] = []
         end_time = self.warmup + self.duration + self.warmup  # + cool-down
         self._end_time = end_time
+        if self.recorder is not None:
+            self.recorder.attach(self.system, until=end_time)
         driver = sim.create_task(self._drive(end_time), name="load-driver")
         sim.run(until=end_time)
         driver.cancel()
@@ -130,9 +136,11 @@ class OpenLoopGenerator:
 
     def _shed(self, now: float) -> None:
         self.monitor.record_shed(now)
-        tracer = self.system.sim.tracer
-        if tracer.enabled:
-            tracer.instant("load-gen", "load", "shed", in_flight=self.in_flight)
+        sim = self.system.sim
+        if sim.metrics.enabled:
+            sim.metrics.counter("admission_shed_total").add()
+        if sim.tracer.enabled:
+            sim.tracer.instant("load-gen", "load", "shed", in_flight=self.in_flight)
 
     async def _parked(self, task: Any, arrived: float) -> None:
         """Delay-mode parking: re-check until a slot frees or we time out."""
@@ -158,6 +166,8 @@ class OpenLoopGenerator:
     def _admit(self, task: Any, arrived: float) -> None:
         sim = self.system.sim
         self.monitor.record_admitted(sim.now)
+        if sim.metrics.enabled:
+            sim.metrics.counter("admission_admitted_total").add()
         self.policy.on_admit(sim.now)
         self.in_flight += 1
         client = self._clients[self._next_proxy]

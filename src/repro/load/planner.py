@@ -155,6 +155,7 @@ def run_point(
     num_shards: int = 1,
     admission: AdmissionConfig | None = None,
     tracer: Any = None,
+    obs_dir: str | None = None,
 ) -> SweepPoint:
     """Run one offered-load point against a *fresh* system."""
     from repro.faults.campaign import build_system, make_config
@@ -166,6 +167,11 @@ def run_point(
     workload = make_workload(workload_name, keys=keys)
     if admission is None:
         admission = AdmissionConfig(policy=policy)
+    recorder = None
+    if obs_dir is not None:
+        from repro.obs import ObsRecorder
+
+        recorder = ObsRecorder()
     gen = OpenLoopGenerator(
         system,
         workload,
@@ -175,8 +181,18 @@ def run_point(
         warmup=warmup,
         proxies=proxies,
         tracer=tracer,
+        recorder=recorder,
     )
     result = gen.run()
+    if recorder is not None:
+        import os
+
+        from repro.obs import write_report as write_obs_report
+
+        name = f"load-{system_kind}-{workload_name}-{rate:.0f}-{admission.policy}"
+        obs = recorder.finish(name, config=config, bench=result)
+        os.makedirs(obs_dir, exist_ok=True)
+        write_obs_report(os.path.join(obs_dir, name + ".obs.json"), obs)
     return SweepPoint(
         offered=rate,
         offered_tps=result.offered_tps,
@@ -253,6 +269,7 @@ def sweep(
     with_closed_loop: bool = True,
     with_overload: bool = True,
     overload_policy: str = "aimd",
+    obs_dir: str | None = None,
     verbose: bool = True,
 ) -> SweepReport:
     """Walk offered load, find the knee, probe 2x-knee overload.
@@ -283,7 +300,7 @@ def sweep(
         point = run_point(
             system_kind, workload_name, rate, seed=seed, process=process,
             duration=duration, warmup=warmup, keys=keys, proxies=proxies,
-            num_shards=num_shards,
+            num_shards=num_shards, obs_dir=obs_dir,
         )
         points.append(point)
         say(point.row())
@@ -316,6 +333,7 @@ def sweep(
                 system_kind, workload_name, overload_rate, seed=seed,
                 process=process, policy=pol, duration=duration, warmup=warmup,
                 keys=keys, proxies=proxies, num_shards=num_shards,
+                obs_dir=obs_dir,
             )
             report.overload.append(point)
             say(point.row())

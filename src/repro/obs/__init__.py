@@ -1,0 +1,69 @@
+"""Time-series telemetry, protocol health monitors, and run analytics.
+
+The fourth observability layer of the reproduction (after tracing,
+fault campaigns, and the perf harness):
+
+* :mod:`repro.obs.registry` — labeled Counter/Gauge/Histogram registry,
+  zero-cost when unregistered (``Simulator.metrics`` defaults to
+  ``NULL_METRICS``), with Prometheus-text and JSONL exporters.
+* :mod:`repro.obs.ticker` — samples the registry (plus node/store
+  probes) on a simulated-time ticker into in-memory time series.
+* :mod:`repro.obs.health` — declarative health rules ("fallback rate >
+  X/s for Y sim-seconds = degraded") evaluated into per-run verdicts.
+* :mod:`repro.obs.report` — the ``RunReport`` artifact (config digest,
+  trace digest, metric series, health verdicts).
+* :mod:`repro.obs.compare` / :mod:`repro.obs.html` — cross-run diffs
+  with tolerance-flagged deltas and a self-contained HTML rendering.
+* :mod:`repro.obs.recorder` — one-call wiring for bench/load/fault runs.
+
+Telemetry is **off by default**: with no registry attached and no
+ticker configured, a run's schedule and trace digest are byte-identical
+to a build without this package (pinned by golden-digest tests).
+
+CLI: ``python -m repro.obs run|compare|check`` (see docs/observability.md).
+"""
+
+from repro.obs.compare import CompareResult, compare_reports, render_compare
+from repro.obs.health import (
+    HealthRule,
+    HealthVerdict,
+    default_basil_rules,
+    evaluate_rules,
+    overall_health,
+)
+from repro.obs.html import render_html, write_html
+from repro.obs.recorder import ObsRecorder
+from repro.obs.registry import (
+    MetricsRegistry,
+    prometheus_text,
+    series_jsonl,
+    write_series_jsonl,
+)
+from repro.obs.report import RunReport, config_digest, load_report, write_report
+from repro.obs.ticker import MetricsTicker, TimeSeries
+from repro.sim.monitor import NULL_METRICS
+
+__all__ = [
+    "CompareResult",
+    "HealthRule",
+    "HealthVerdict",
+    "MetricsRegistry",
+    "MetricsTicker",
+    "NULL_METRICS",
+    "ObsRecorder",
+    "RunReport",
+    "TimeSeries",
+    "compare_reports",
+    "config_digest",
+    "default_basil_rules",
+    "evaluate_rules",
+    "load_report",
+    "overall_health",
+    "prometheus_text",
+    "render_compare",
+    "render_html",
+    "series_jsonl",
+    "write_html",
+    "write_report",
+    "write_series_jsonl",
+]

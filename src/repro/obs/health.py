@@ -1,0 +1,278 @@
+"""Declarative protocol health rules over sampled time series.
+
+A :class:`HealthRule` names a metric (optionally restricted to a label
+subset), an aggregate view of it (``rate`` for cumulative counters,
+``value`` for gauges), a comparison against a threshold, and how long
+the breach must be *sustained* in simulated seconds before the rule
+fires.  Evaluation walks the ticker's series and produces one
+:class:`HealthVerdict` per rule; the report's overall health is the
+worst verdict (``ok`` < ``degraded`` < ``critical``).
+
+Example (the paper's §6.3 failure story in rule form): "fallback
+invocations above 200/s sustained for 20 simulated milliseconds means
+the system is degraded" —
+
+    HealthRule(
+        name="fallback-churn",
+        metric="basil_fallback_invocations_total",
+        aggregate="rate", op=">", threshold=200.0,
+        for_seconds=0.02, severity="degraded",
+    )
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.ticker import TimeSeries
+
+#: Health states in increasing severity.
+STATUS_ORDER = ("ok", "degraded", "critical")
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One declarative condition over one metric."""
+
+    name: str
+    metric: str
+    threshold: float
+    #: ``rate`` — per-second delta of a cumulative counter; ``value`` —
+    #: the sampled value itself (gauges); ``max``/``mean`` — scalar over
+    #: the whole run (``for_seconds`` is ignored for these).
+    aggregate: str = "rate"
+    op: str = ">"
+    #: Breach must hold contiguously for this many simulated seconds.
+    for_seconds: float = 0.0
+    severity: str = "degraded"
+    #: Restrict to series whose labels contain these items; None matches
+    #: every series of the metric (values are summed per timestamp).
+    labels: dict[str, str] | None = None
+    description: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "aggregate": self.aggregate,
+            "op": self.op,
+            "for_seconds": self.for_seconds,
+            "severity": self.severity,
+            "labels": dict(self.labels) if self.labels else None,
+        }
+
+
+@dataclass
+class HealthVerdict:
+    """The outcome of evaluating one rule over one run."""
+
+    rule: str
+    status: str  # "ok" | rule severity
+    observed: float = 0.0  # worst value seen through the rule's lens
+    breach_at: float | None = None  # sim time the firing breach began
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "status": self.status,
+            "observed": self.observed,
+            "breach_at": self.breach_at,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HealthVerdict":
+        return cls(
+            rule=data["rule"],
+            status=data["status"],
+            observed=float(data.get("observed", 0.0)),
+            breach_at=data.get("breach_at"),
+            detail=data.get("detail", ""),
+        )
+
+
+def _matching(rule: HealthRule, series: Sequence[TimeSeries]) -> list[TimeSeries]:
+    out = []
+    for s in series:
+        if s.name != rule.metric:
+            continue
+        if rule.labels and any(s.labels.get(k) != v for k, v in rule.labels.items()):
+            continue
+        out.append(s)
+    return out
+
+
+def _summed(matching: list[TimeSeries]) -> list[tuple[float, float]]:
+    """Sum matching series per timestamp (ticks align by construction)."""
+    if len(matching) == 1:
+        return list(matching[0].points)
+    totals: dict[float, float] = {}
+    for s in matching:
+        for t, v in s.points:
+            totals[t] = totals.get(t, 0.0) + v
+    return sorted(totals.items())
+
+
+def _signal(points: list[tuple[float, float]], aggregate: str) -> list[tuple[float, float]]:
+    if aggregate == "rate":
+        out = []
+        for (t0, v0), (t1, v1) in zip(points, points[1:]):
+            dt = t1 - t0
+            if dt > 0:
+                out.append((t1, (v1 - v0) / dt))
+        return out
+    return points  # "value" (and the scalar aggregates use points directly)
+
+
+def evaluate_rule(rule: HealthRule, series: Sequence[TimeSeries]) -> HealthVerdict:
+    cmp = _OPS[rule.op]
+    points = _summed(_matching(rule, series))
+    if not points:
+        return HealthVerdict(rule.name, "ok", detail="no samples")
+
+    if rule.aggregate in ("max", "mean"):
+        values = [v for _, v in points]
+        observed = max(values) if rule.aggregate == "max" else sum(values) / len(values)
+        if cmp(observed, rule.threshold):
+            return HealthVerdict(
+                rule.name,
+                rule.severity,
+                observed=observed,
+                detail=f"{rule.aggregate} {observed:g} {rule.op} {rule.threshold:g}",
+            )
+        return HealthVerdict(rule.name, "ok", observed=observed)
+
+    signal = _signal(points, rule.aggregate)
+    if not signal:
+        return HealthVerdict(rule.name, "ok", detail="too few samples")
+
+    # The most-breaching value through the rule's lens (max for ">"-style
+    # rules, min for "<"-style), reported whether or not the rule fires.
+    values = [v for _, v in signal]
+    observed = max(values) if rule.op in (">", ">=") else min(values)
+
+    fired_at: float | None = None
+    run_start: float | None = None
+    for t, v in signal:
+        if cmp(v, rule.threshold):
+            if run_start is None:
+                run_start = t
+            # epsilon absorbs float drift in tick timestamps (0.03 - 0.02
+            # is fractionally under 0.01) so window edges don't need an
+            # extra tick to fire
+            if t - run_start >= rule.for_seconds - 1e-9:
+                fired_at = run_start
+                break
+        else:
+            run_start = None
+    if fired_at is not None:
+        return HealthVerdict(
+            rule.name,
+            rule.severity,
+            observed=observed,
+            breach_at=fired_at,
+            detail=(
+                f"{rule.aggregate}({rule.metric}) {rule.op} {rule.threshold:g} "
+                f"sustained >= {rule.for_seconds:g}s from t={fired_at:.3f}"
+            ),
+        )
+    return HealthVerdict(rule.name, "ok", observed=observed)
+
+
+def evaluate_rules(
+    rules: Sequence[HealthRule], series: Sequence[TimeSeries]
+) -> list[HealthVerdict]:
+    return [evaluate_rule(rule, series) for rule in rules]
+
+
+def overall_health(verdicts: Sequence[HealthVerdict]) -> str:
+    worst = "ok"
+    for v in verdicts:
+        if STATUS_ORDER.index(v.status) > STATUS_ORDER.index(worst):
+            worst = v.status
+    return worst
+
+
+def default_basil_rules() -> list[HealthRule]:
+    """Health rules for the protocol signals §6.3 cares about.
+
+    Thresholds are calibrated for the repo's quick closed-loop runs:
+    fault-free Basil stays "ok"; a partition, a fallback storm, or CPU
+    saturation trips the matching rule.
+    """
+    return [
+        HealthRule(
+            name="fallback-churn",
+            metric="basil_fallback_invocations_total",
+            aggregate="rate",
+            threshold=200.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="fallback recovery invoked at storm rate",
+        ),
+        HealthRule(
+            name="view-churn",
+            metric="basil_view_changes_total",
+            aggregate="rate",
+            threshold=100.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="replicas adopting fallback views at storm rate",
+        ),
+        HealthRule(
+            name="abort-storm",
+            metric="basil_mvtso_aborts_total",
+            aggregate="rate",
+            threshold=4000.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="MVTSO-Check abort rate far above contention baseline",
+        ),
+        HealthRule(
+            name="commit-stall",
+            metric="basil_txn_commits_total",
+            aggregate="rate",
+            threshold=0.0,
+            op="<=",
+            for_seconds=0.05,
+            severity="critical",
+            description="no transaction committed for a sustained window",
+        ),
+        HealthRule(
+            name="cpu-saturation",
+            metric="cpu_queue_depth",
+            aggregate="value",
+            threshold=64.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="a replica CPU run queue stayed saturated",
+        ),
+        HealthRule(
+            name="dependency-pileup",
+            metric="basil_dependency_wait_depth",
+            aggregate="value",
+            threshold=32.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="prepares parked on undecided dependencies piled up",
+        ),
+        HealthRule(
+            name="load-shedding",
+            metric="admission_shed_total",
+            aggregate="rate",
+            threshold=0.0,
+            severity="degraded",
+            description="admission control is shedding offered load",
+        ),
+    ]

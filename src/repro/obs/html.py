@@ -1,0 +1,214 @@
+"""Self-contained HTML report with inline-SVG time-series charts.
+
+No external assets, scripts, or network fetches: the produced file is a
+single HTML document (inline CSS + ``<svg>`` polylines) that renders the
+metric time series, health verdicts, and — when two reports are given —
+the flagged deltas of a comparison.  Open it in any browser.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Iterable
+
+from repro.obs.compare import CompareResult
+from repro.obs.report import RunReport
+from repro.obs.ticker import TimeSeries
+
+_CSS = """
+body { font: 13px/1.5 -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.5em 0; }
+td, th { border: 1px solid #ccd; padding: 2px 10px; text-align: left; }
+th { background: #eef; }
+.ok { color: #05662e; } .degraded { color: #a15c00; } .critical { color: #b00020; }
+.flag { background: #ffe8e8; }
+.chart { margin: 0.8em 0; }
+.chart svg { background: #fafaff; border: 1px solid #dde; }
+.legend { color: #555; font-size: 12px; }
+.runA { color: #2456b0; } .runB { color: #c03028; }
+"""
+
+_COLORS_A = ("#2456b0", "#3a7bd5", "#6699cc", "#224477", "#5577aa", "#7788bb")
+_COLORS_B = ("#c03028", "#e06050", "#cc7766", "#884433", "#aa5544", "#bb7766")
+
+
+def _polyline(
+    series: TimeSeries,
+    t_min: float,
+    t_max: float,
+    v_max: float,
+    width: int,
+    height: int,
+    color: str,
+) -> str:
+    span_t = (t_max - t_min) or 1.0
+    span_v = v_max or 1.0
+    pts = " ".join(
+        f"{(t - t_min) / span_t * (width - 8) + 4:.1f},"
+        f"{height - 4 - (v / span_v) * (height - 8):.1f}"
+        for t, v in series.points
+    )
+    return (
+        f'<polyline fill="none" stroke="{color}" stroke-width="1.2" points="{pts}"/>'
+    )
+
+
+def _chart(
+    name: str,
+    series_a: list[TimeSeries],
+    series_b: list[TimeSeries],
+    width: int = 640,
+    height: int = 120,
+) -> str:
+    everything = series_a + series_b
+    points = [p for s in everything for p in s.points]
+    if not points:
+        return ""
+    t_min = min(t for t, _ in points)
+    t_max = max(t for t, _ in points)
+    v_max = max((v for _, v in points), default=0.0)
+    lines = []
+    for i, s in enumerate(series_a):
+        lines.append(_polyline(s, t_min, t_max, v_max, width, height, _COLORS_A[i % len(_COLORS_A)]))
+    for i, s in enumerate(series_b):
+        lines.append(_polyline(s, t_min, t_max, v_max, width, height, _COLORS_B[i % len(_COLORS_B)]))
+    labels = ", ".join(
+        sorted({",".join(f"{k}={v}" for k, v in s.labels.items()) or "(all)" for s in everything})
+    )
+    return (
+        f'<div class="chart"><strong>{_html.escape(name)}</strong> '
+        f'<span class="legend">max {v_max:g} · t {t_min:.3f}–{t_max:.3f}s · '
+        f"{_html.escape(labels)}</span><br>"
+        f'<svg width="{width}" height="{height}" viewBox="0 0 {width} {height}">'
+        + "".join(lines)
+        + "</svg></div>"
+    )
+
+
+def _series_by_name(report: RunReport) -> dict[str, list[TimeSeries]]:
+    grouped: dict[str, list[TimeSeries]] = {}
+    for data in report.series:
+        s = TimeSeries.from_dict(data)
+        grouped.setdefault(s.name, []).append(s)
+    return grouped
+
+
+def _verdict_rows(report: RunReport) -> Iterable[str]:
+    for v in report.verdicts:
+        status = v["status"]
+        detail = v.get("detail", "")
+        yield (
+            f'<tr><td>{_html.escape(v["rule"])}</td>'
+            f'<td class="{status}">{status}</td>'
+            f"<td>{v.get('observed', 0):g}</td>"
+            f"<td>{_html.escape(detail)}</td></tr>"
+        )
+
+
+def _bench_table(report: RunReport) -> str:
+    if not report.bench:
+        return "<p>(no benchmark row)</p>"
+    rows = "".join(
+        f"<tr><td>{_html.escape(str(k))}</td><td>{_html.escape(str(v))}</td></tr>"
+        for k, v in sorted(report.bench.items())
+        if not isinstance(v, dict)
+    )
+    return f"<table><tr><th>metric</th><th>value</th></tr>{rows}</table>"
+
+
+def render_html(
+    a: RunReport,
+    b: RunReport | None = None,
+    result: CompareResult | None = None,
+    title: str | None = None,
+) -> str:
+    """One report (or an A/B comparison) as a standalone HTML document."""
+    title = title or (f"obs compare: {a.name} vs {b.name}" if b else f"obs run: {a.name}")
+    parts = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>{_html.escape(title)}</title><style>{_CSS}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        f"<p>run A: <strong>{_html.escape(a.name)}</strong>, seed {a.seed}, "
+        f"{a.sim_seconds:.3f} sim-s, health "
+        f"<span class='{a.health}'>{a.health}</span>, config {a.config_digest[:12]}</p>",
+    ]
+    if b is not None:
+        parts.append(
+            f"<p>run B: <strong>{_html.escape(b.name)}</strong>, seed {b.seed}, "
+            f"{b.sim_seconds:.3f} sim-s, health "
+            f"<span class='{b.health}'>{b.health}</span>, config {b.config_digest[:12]}</p>"
+        )
+        parts.append(
+            "<p class='legend'><span class='runA'>— run A</span> &nbsp; "
+            "<span class='runB'>— run B</span></p>"
+        )
+
+    if result is not None:
+        parts.append("<h2>Comparison</h2>")
+        if result.identical:
+            parts.append("<p class='ok'>No differences: metrics and health identical.</p>")
+        else:
+            verdict = (
+                "<span class='ok'>no significant differences</span>"
+                if result.ok
+                else "<span class='critical'>REGRESSION</span>"
+            )
+            parts.append(f"<p>verdict: {verdict}</p>")
+            rows = []
+            for d in result.deltas:
+                if not d.flagged:
+                    continue
+                rows.append(
+                    f"<tr class='flag'><td>{_html.escape(d.metric)}</td>"
+                    f"<td>{d.a:g}</td><td>{d.b:g}</td><td>{d.rel:+.1%}</td></tr>"
+                )
+            if rows:
+                parts.append(
+                    "<table><tr><th>flagged metric</th><th>A</th><th>B</th>"
+                    "<th>delta</th></tr>" + "".join(rows) + "</table>"
+                )
+            regress = [h for h in result.health if h.regressed]
+            if regress:
+                rows = "".join(
+                    f"<tr class='flag'><td>{_html.escape(h.rule)}</td>"
+                    f"<td class='{h.a}'>{h.a}</td><td class='{h.b}'>{h.b}</td></tr>"
+                    for h in regress
+                )
+                parts.append(
+                    "<table><tr><th>health regression</th><th>A</th><th>B</th></tr>"
+                    + rows + "</table>"
+                )
+
+    parts.append("<h2>Health verdicts</h2>")
+    parts.append(
+        "<table><tr><th>rule</th><th>A</th><th>observed</th><th>detail</th></tr>"
+        + "".join(_verdict_rows(a)) + "</table>"
+    )
+    if b is not None:
+        parts.append(
+            "<table><tr><th>rule</th><th>B</th><th>observed</th><th>detail</th></tr>"
+            + "".join(_verdict_rows(b)) + "</table>"
+        )
+
+    parts.append("<h2>Benchmark row</h2>")
+    parts.append(_bench_table(a))
+    if b is not None:
+        parts.append(_bench_table(b))
+
+    parts.append("<h2>Time series</h2>")
+    grouped_a = _series_by_name(a)
+    grouped_b = _series_by_name(b) if b is not None else {}
+    for name in sorted(set(grouped_a) | set(grouped_b)):
+        chart = _chart(name, grouped_a.get(name, []), grouped_b.get(name, []))
+        if chart:
+            parts.append(chart)
+
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_html(path: str, document: str) -> None:
+    with open(path, "w") as fh:
+        fh.write(document)

@@ -1,0 +1,128 @@
+"""The run-artifact format: everything one run leaves behind.
+
+A :class:`RunReport` is the machine-checkable record of one simulated
+run: the configuration (and its digest, so two reports can assert they
+ran the same setup), the trace digest when a tracer was attached (the
+determinism oracle), the sampled metric time series, histogram
+summaries, the benchmark row, and the evaluated health verdicts.
+
+Reports are plain JSON (``schema`` field versions the layout, the same
+convention as ``repro.load.sweep/v1``) and are written by the bench
+runner (``python -m repro.bench --obs``), the load planner, the fault
+sweeper, and ``python -m repro.obs run``.  ``python -m repro.obs
+compare A B`` diffs two of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+SCHEMA = "repro.obs.run/v1"
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort canonical JSON value (enums/digests become strings)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def config_digest(config: Any) -> str:
+    """sha256 over the canonical JSON rendering of a SystemConfig."""
+    payload = json.dumps(_jsonable(config), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class RunReport:
+    """One run's telemetry artifact (see module docstring)."""
+
+    name: str
+    seed: int
+    sim_seconds: float
+    config_digest: str
+    health: str = "ok"
+    verdicts: list[dict[str, Any]] = field(default_factory=list)
+    bench: dict[str, Any] | None = None
+    series: list[dict[str, Any]] = field(default_factory=list)
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    trace_digest: str | None = None
+    config: dict[str, Any] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "seed": self.seed,
+            "sim_seconds": self.sim_seconds,
+            "config_digest": self.config_digest,
+            "health": self.health,
+            "verdicts": self.verdicts,
+            "bench": self.bench,
+            "series": self.series,
+            "histograms": self.histograms,
+            "trace_digest": self.trace_digest,
+            "config": self.config,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"not a {SCHEMA} report (schema={data.get('schema')!r})"
+            )
+        return cls(
+            name=data["name"],
+            seed=int(data["seed"]),
+            sim_seconds=float(data["sim_seconds"]),
+            config_digest=data["config_digest"],
+            health=data.get("health", "ok"),
+            verdicts=data.get("verdicts", []),
+            bench=data.get("bench"),
+            series=data.get("series", []),
+            histograms=data.get("histograms", {}),
+            trace_digest=data.get("trace_digest"),
+            config=data.get("config", {}),
+            meta=data.get("meta", {}),
+        )
+
+    # -- convenience lookups -------------------------------------------
+    def verdict_status(self) -> dict[str, str]:
+        return {v["rule"]: v["status"] for v in self.verdicts}
+
+    def final_series_values(self) -> dict[str, float]:
+        """Series key -> last sampled value (counters/gauges end state)."""
+        from repro.sim.monitor import metric_key
+
+        out: dict[str, float] = {}
+        for s in self.series:
+            points = s.get("points") or []
+            if points:
+                out[metric_key(s["name"], s.get("labels") or {})] = float(points[-1][1])
+        return out
+
+
+def write_report(path: str, report: RunReport) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> RunReport:
+    with open(path) as fh:
+        return RunReport.from_dict(json.load(fh))

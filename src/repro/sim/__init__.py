@@ -11,12 +11,13 @@ support (:mod:`repro.sim.loop`), a latency/loss-modeling message network
 from repro.sim.loop import Future, Simulator, Task
 from repro.sim.network import Network
 from repro.sim.node import Cpu, Node
-from repro.sim.monitor import Counter, Histogram, Monitor
+from repro.sim.monitor import Counter, Gauge, Histogram, Monitor
 
 __all__ = [
     "Counter",
     "Cpu",
     "Future",
+    "Gauge",
     "Histogram",
     "Monitor",
     "Network",

@@ -36,6 +36,7 @@ from collections import deque
 from typing import Any, Awaitable, Callable, Coroutine, Generator, Iterable
 
 from repro.errors import SimTimeoutError, SimulationError
+from repro.sim.monitor import NULL_METRICS
 from repro.trace.tracer import NULL_TRACER
 
 _PENDING = object()
@@ -305,12 +306,20 @@ class Simulator:
         #: Observability hook; NULL_TRACER records nothing and costs one
         #: attribute read per instrumented site (see repro.trace).
         self.tracer = NULL_TRACER
+        #: Metrics hook; NULL_METRICS likewise records nothing (see
+        #: repro.obs).  Neither hook may schedule events or draw RNG.
+        self.metrics = NULL_METRICS
 
     def attach_tracer(self, tracer: Any) -> Any:
         """Install a :class:`repro.trace.Tracer`; returns it for chaining."""
         tracer.sim = self
         self.tracer = tracer
         return tracer
+
+    def attach_metrics(self, registry: Any) -> Any:
+        """Install a :class:`repro.obs.MetricsRegistry`; returns it."""
+        self.metrics = registry
+        return registry
 
     # ------------------------------------------------------------------
     # Randomness

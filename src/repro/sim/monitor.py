@@ -11,15 +11,62 @@ import math
 from dataclasses import dataclass, field
 
 
-class Counter:
-    """A monotonically increasing named counter."""
+def metric_key(name: str, labels: dict[str, str] | None) -> str:
+    """Canonical storage key for a (name, label set) pair.
 
-    def __init__(self, name: str) -> None:
+    Unlabeled metrics keep their bare name, so every pre-existing key
+    (``"commits"``, ``"offered"``) is unchanged.  Labeled metrics render
+    as ``name{k=v,...}`` with keys sorted, so the same label set always
+    maps to the same series regardless of call-site keyword order.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing counter, optionally labeled."""
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
+        self.labels = labels or {}
         self.value = 0
 
     def add(self, amount: int = 1) -> None:
         self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (queue depth, views).
+
+    Unlike a :class:`Counter` it is ``set`` as often as it is
+    incremented; ``reset`` returns it to zero so one gauge can be reused
+    across measurement windows.
+    """
+
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
+        self.name = name
+        self.labels = labels or {}
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def reset(self) -> None:
+        self.value = 0.0
 
 
 class Histogram:
@@ -29,14 +76,22 @@ class Histogram:
     thousands) that exact storage beats bucketing.
     """
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: dict[str, str] | None = None) -> None:
         self.name = name
+        self.labels = labels or {}
         self._samples: list[float] = []
         self._sorted = True
 
     def record(self, value: float) -> None:
         self._samples.append(value)
         self._sorted = False
+
+    def reset(self) -> None:
+        self._samples.clear()
+        self._sorted = True
+
+    def sum(self) -> float:
+        return sum(self._samples)
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -97,6 +152,59 @@ class Histogram:
         }
 
 
+class _NullMetric:
+    """Swallows every mutation; shared by all unregistered metric lookups."""
+
+    __slots__ = ()
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """Default ``Simulator.metrics``: telemetry off.
+
+    Mirrors ``repro.trace.NULL_TRACER``: instrumented sites guard on the
+    ``enabled`` attribute (one attribute read when disabled), and even an
+    unguarded call lands on a shared no-op metric.  Installing a real
+    :class:`repro.obs.MetricsRegistry` via ``Simulator.attach_metrics``
+    never schedules events, draws randomness, or charges CPU, so a run's
+    schedule — and its trace digest — is independent of telemetry.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: str) -> _NullMetric:
+        return _NULL_METRIC
+
+
+NULL_METRICS = NullMetrics()
+
+
 @dataclass
 class MeasurementWindow:
     """Only events with timestamps inside [start, end) are counted."""
@@ -122,21 +230,41 @@ class Monitor:
 
     window: MeasurementWindow = field(default_factory=MeasurementWindow)
     counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
 
-    def counter(self, name: str) -> Counter:
-        counter = self.counters.get(name)
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = metric_key(name, labels)
+        counter = self.counters.get(key)
         if counter is None:
-            counter = Counter(name)
-            self.counters[name] = counter
+            counter = Counter(name, labels)
+            self.counters[key] = counter
         return counter
 
-    def histogram(self, name: str) -> Histogram:
-        hist = self.histograms.get(name)
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = metric_key(name, labels)
+        gauge = self.gauges.get(key)
+        if gauge is None:
+            gauge = Gauge(name, labels)
+            self.gauges[key] = gauge
+        return gauge
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = metric_key(name, labels)
+        hist = self.histograms.get(key)
         if hist is None:
-            hist = Histogram(name)
-            self.histograms[name] = hist
+            hist = Histogram(name, labels)
+            self.histograms[key] = hist
         return hist
+
+    def reset(self) -> None:
+        """Zero every metric in place (series identity is preserved)."""
+        for counter in self.counters.values():
+            counter.reset()
+        for gauge in self.gauges.values():
+            gauge.reset()
+        for hist in self.histograms.values():
+            hist.reset()
 
     # -- transaction-level recording --------------------------------------
     def record_commit(self, now: float, latency: float, fast_path: bool, tag: str = "") -> None:
@@ -147,14 +275,14 @@ class Monitor:
         if fast_path:
             self.counter("fast_path_commits").add()
         if tag:
-            self.counter(f"commits/{tag}").add()
+            self.counter("commits", tag=tag).add()
 
     def record_abort(self, now: float, tag: str = "") -> None:
         if not self.window.contains(now):
             return
         self.counter("aborts").add()
         if tag:
-            self.counter(f"aborts/{tag}").add()
+            self.counter("aborts", tag=tag).add()
 
     def record_event(self, now: float, name: str) -> None:
         if not self.window.contains(now):

@@ -85,12 +85,15 @@ class Network:
     # -- sending ----------------------------------------------------------
     def send(self, src: Node, dst: str, message: Any) -> None:
         """Fire-and-forget unicast from ``src`` to the node named ``dst``."""
+        metrics = self.sim.metrics
         if dst not in self._nodes:
             if dst not in self._known:
                 raise SimulationError(f"unknown destination {dst!r}")
             # A crashed (unregistered) peer: the message is simply lost.
             src.messages_sent += 1
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="crashed").add()
             if self.sim.tracer.enabled:
                 self.sim.tracer.instant(
                     src.name, "net", "drop",
@@ -100,8 +103,12 @@ class Network:
         src.messages_sent += 1
         tracer = self.sim.tracer
         config = self.config
+        if metrics.enabled:
+            metrics.counter("net_sends_total").add()
         if config.drop_rate and self._rng.random() < config.drop_rate:
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="drop_rate").add()
             if tracer.enabled:
                 tracer.instant(
                     src.name, "net", "drop",
@@ -116,6 +123,8 @@ class Network:
         delay = self.adversary.intercept(src.name, dst, message, base)
         if delay is None:
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="adversary").add()
             if tracer.enabled:
                 tracer.instant(
                     src.name, "net", "drop",
@@ -145,9 +154,12 @@ class Network:
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:
         tracer = self.sim.tracer
+        metrics = self.sim.metrics
         node = self._nodes.get(dst)
         if node is None:  # node was torn down mid-flight
             self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="unregistered").add()
             if tracer.enabled:
                 tracer.instant(
                     src, "net", "drop",
@@ -155,6 +167,8 @@ class Network:
                 )
             return
         self.messages_delivered += 1
+        if metrics.enabled:
+            metrics.counter("net_delivers_total").add()
         if tracer.enabled:
             tracer.instant(dst, "net", "deliver", src=src, msg=type(message).__name__)
         node.deliver(src, message)

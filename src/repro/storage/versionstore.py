@@ -80,6 +80,26 @@ class VersionStore(Generic[TS]):
     def keys(self) -> Iterable[Key]:
         return self._keys.keys()
 
+    def stats(self) -> dict[str, int]:
+        """Size counters for observability probes (pure observation).
+
+        Walks the per-key state; intended for periodic sampling (the
+        obs ticker), not per-operation paths.
+        """
+        committed = prepared = rts = reads = 0
+        for state in self._keys.values():
+            committed += len(state.committed)
+            prepared += len(state.prepared)
+            rts += len(state.rts)
+            reads += len(state.reads)
+        return {
+            "keys": len(self._keys),
+            "committed_versions": committed,
+            "prepared_versions": prepared,
+            "rts_reservations": rts,
+            "read_index_entries": reads,
+        }
+
     # ------------------------------------------------------------------
     # Loading / committed writes
     # ------------------------------------------------------------------

@@ -65,7 +65,7 @@ def test_tagged_transactions_counted():
         system, wl, num_clients=2, duration=0.1, warmup=0.02, tag_transactions=True
     )
     result = runner.run()
-    tagged = runner.monitor.counter("commits/ycsb-u").value
+    tagged = runner.monitor.counter("commits", tag="ycsb-u").value
     assert tagged == result.commits
 
 

@@ -198,4 +198,4 @@ def test_correct_clients_progress_with_30pct_byzantine():
     )
     result = runner.run()
     assert result.extra["correct_throughput"] > 0
-    assert runner.monitor.counter("commits/correct").value > 50
+    assert runner.monitor.counter("commits", tag="correct").value > 50

@@ -76,8 +76,8 @@ def test_retwis_runs_and_timeline_reads_dominate():
     wl = RetwisWorkload(num_users=2000)
     system, runner, result = run_workload(wl)
     assert result.commits > 100
-    timeline = runner.monitor.counter("commits/retwis/load_timeline").value
-    posts = runner.monitor.counter("commits/retwis/post_tweet").value
+    timeline = runner.monitor.counter("commits", tag="retwis/load_timeline").value
+    posts = runner.monitor.counter("commits", tag="retwis/post_tweet").value
     assert timeline > posts
 
 
@@ -86,7 +86,7 @@ def test_tpcc_runs_and_orders_accumulate():
     system, runner, result = run_workload(wl, clients=6)
     assert result.commits > 20
     # committed new_orders must have bumped district counters
-    new_orders = runner.monitor.counter("commits/tpcc/new_order").value
+    new_orders = runner.monitor.counter("commits", tag="tpcc/new_order").value
     if new_orders:
         total_advance = 0
         replica = system.shard_replicas(0)[0]

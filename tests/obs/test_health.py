@@ -1,0 +1,130 @@
+"""Tests for declarative health rules."""
+
+import pytest
+
+from repro.obs.health import (
+    HealthRule,
+    HealthVerdict,
+    default_basil_rules,
+    evaluate_rule,
+    evaluate_rules,
+    overall_health,
+)
+from repro.obs.ticker import TimeSeries
+
+
+def counter_series(name, rate, ticks=10, interval=0.01, labels=None):
+    """A cumulative counter growing at `rate`/s, sampled every tick."""
+    return TimeSeries(
+        name, dict(labels or {}),
+        [(i * interval, rate * i * interval) for i in range(1, ticks + 1)],
+    )
+
+
+def test_no_samples_is_ok():
+    rule = HealthRule(name="r", metric="missing", threshold=1.0)
+    verdict = evaluate_rule(rule, [])
+    assert verdict.status == "ok"
+    assert verdict.detail == "no samples"
+
+
+def test_rate_breach_fires_after_sustained_window():
+    rule = HealthRule(
+        name="storm", metric="aborts_total", threshold=50.0,
+        aggregate="rate", for_seconds=0.03, severity="degraded",
+    )
+    fired = evaluate_rule(rule, [counter_series("aborts_total", rate=100.0)])
+    assert fired.status == "degraded"
+    assert fired.breach_at is not None
+    assert fired.observed == pytest.approx(100.0)
+
+    calm = evaluate_rule(rule, [counter_series("aborts_total", rate=10.0)])
+    assert calm.status == "ok"
+    assert calm.observed == pytest.approx(10.0)
+
+
+def test_transient_breach_below_for_seconds_does_not_fire():
+    """A single hot tick resets when the signal drops below threshold."""
+    points = [
+        (0.01, 0.0), (0.02, 10.0), (0.03, 10.0), (0.04, 20.0), (0.05, 20.0)
+    ]
+    series = TimeSeries("m", {}, points)
+    rule = HealthRule(
+        name="r", metric="m", threshold=500.0, aggregate="rate", for_seconds=0.02
+    )
+    # rate spikes to 1000/s for single ticks but never for 0.02s straight
+    assert evaluate_rule(rule, [series]).status == "ok"
+
+
+def test_value_aggregate_uses_sampled_values():
+    series = TimeSeries("depth", {}, [(0.01, 1.0), (0.02, 80.0), (0.03, 80.0)])
+    rule = HealthRule(
+        name="saturated", metric="depth", threshold=64.0,
+        aggregate="value", for_seconds=0.01, severity="degraded",
+    )
+    verdict = evaluate_rule(rule, [series])
+    assert verdict.status == "degraded"
+    assert verdict.observed == pytest.approx(80.0)
+
+
+def test_less_than_op_reports_min_as_observed():
+    rule = HealthRule(
+        name="stall", metric="commits_total", threshold=0.0,
+        aggregate="rate", op="<=", for_seconds=0.02, severity="critical",
+    )
+    flat = TimeSeries("commits_total", {}, [(0.01 * i, 5.0) for i in range(1, 6)])
+    verdict = evaluate_rule(rule, [flat])
+    assert verdict.status == "critical"
+    assert verdict.observed == pytest.approx(0.0)
+
+
+def test_max_and_mean_aggregates():
+    series = TimeSeries("m", {}, [(0.01, 1.0), (0.02, 9.0)])
+    hit = HealthRule(name="a", metric="m", threshold=8.0, aggregate="max")
+    miss = HealthRule(name="b", metric="m", threshold=8.0, aggregate="mean")
+    assert evaluate_rule(hit, [series]).status == "degraded"
+    verdict = evaluate_rule(miss, [series])
+    assert verdict.status == "ok"
+    assert verdict.observed == pytest.approx(5.0)
+
+
+def test_label_filter_and_cross_series_sum():
+    r0 = counter_series("m", rate=30.0, labels={"node": "r0"})
+    r1 = counter_series("m", rate=30.0, labels={"node": "r1"})
+    scoped = HealthRule(
+        name="one", metric="m", threshold=50.0, aggregate="rate",
+        labels={"node": "r0"},
+    )
+    summed = HealthRule(name="all", metric="m", threshold=50.0, aggregate="rate")
+    assert evaluate_rule(scoped, [r0, r1]).status == "ok"  # 30/s < 50
+    assert evaluate_rule(summed, [r0, r1]).status == "degraded"  # 60/s > 50
+
+
+def test_overall_health_is_worst_verdict():
+    verdicts = [
+        HealthVerdict("a", "ok"),
+        HealthVerdict("b", "critical"),
+        HealthVerdict("c", "degraded"),
+    ]
+    assert overall_health(verdicts) == "critical"
+    assert overall_health([HealthVerdict("a", "ok")]) == "ok"
+    assert overall_health([]) == "ok"
+
+
+def test_verdict_round_trip():
+    verdict = HealthVerdict("r", "degraded", observed=3.0, breach_at=0.5, detail="d")
+    assert HealthVerdict.from_dict(verdict.to_dict()) == verdict
+
+
+def test_default_rules_are_well_formed():
+    rules = default_basil_rules()
+    names = [r.name for r in rules]
+    assert len(names) == len(set(names))
+    assert "commit-stall" in names
+    assert all(r.severity in ("degraded", "critical") for r in rules)
+    assert all(r.op in (">", ">=", "<", "<=") for r in rules)
+    # quiet series keep every default rule green
+    quiet = [counter_series(r.metric, rate=1.0) for r in rules
+             if r.name != "load-shedding"]
+    verdicts = evaluate_rules([r for r in rules if r.name != "load-shedding"], quiet)
+    assert overall_health(verdicts) == "ok"

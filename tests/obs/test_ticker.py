@@ -1,0 +1,114 @@
+"""Tests for the simulated-time metrics ticker."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.ticker import MetricsTicker, TimeSeries
+from repro.sim.loop import Simulator
+
+
+def test_ticker_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        MetricsTicker(MetricsRegistry(), interval=0.0)
+
+
+def test_ticker_samples_on_simulated_time():
+    sim = Simulator(seed=1)
+    reg = sim.attach_metrics(MetricsRegistry())
+    ticker = MetricsTicker(reg, interval=0.01)
+    counter = reg.counter("events_total")
+
+    async def work():
+        for _ in range(5):
+            counter.add(2)
+            await sim.sleep(0.01)
+
+    sim.create_task(work())
+    ticker.attach(sim)
+    sim.run(until=0.055)
+    ticker.stop()
+    series = {s.key: s for s in ticker.series()}
+    points = series["events_total"].points
+    assert ticker.ticks == 5
+    assert [t for t, _ in points] == pytest.approx([0.01, 0.02, 0.03, 0.04, 0.05])
+    # cumulative counter: monotone non-decreasing samples
+    values = [v for _, v in points]
+    assert values == sorted(values)
+    assert values[-1] == 10
+
+
+def test_ticker_honors_until_bound():
+    sim = Simulator(seed=1)
+    reg = sim.attach_metrics(MetricsRegistry())
+    reg.counter("x")
+    ticker = MetricsTicker(reg, interval=0.01)
+    ticker.attach(sim, until=0.03)
+    sim.run(until=0.2)
+    assert ticker.ticks == 3  # 0.01, 0.02, 0.03 — nothing past `until`
+
+
+def test_ticker_probes_sample_observed_state():
+    sim = Simulator(seed=1)
+    reg = sim.attach_metrics(MetricsRegistry())
+    ticker = MetricsTicker(reg, interval=0.01)
+    depth = {"value": 0.0}
+    ticker.add_probe(lambda: [("queue_depth", {"node": "r0"}, depth["value"])])
+
+    async def work():
+        await sim.sleep(0.015)
+        depth["value"] = 7.0
+
+    sim.create_task(work())
+    ticker.attach(sim)
+    sim.run(until=0.03)
+    series = {s.key: s for s in ticker.series()}
+    points = series["queue_depth{node=r0}"].points
+    assert [v for _, v in points] == [0.0, 7.0, 7.0]
+
+
+def test_histograms_sample_count_and_sum():
+    sim = Simulator(seed=1)
+    reg = sim.attach_metrics(MetricsRegistry())
+    hist = reg.histogram("lat")
+    ticker = MetricsTicker(reg, interval=0.01)
+
+    async def work():
+        hist.record(0.5)
+        await sim.sleep(0.015)
+        hist.record(1.5)
+
+    sim.create_task(work())
+    ticker.attach(sim)
+    sim.run(until=0.025)
+    series = {s.key: s for s in ticker.series()}
+    assert [v for _, v in series["lat_count"].points] == [1, 2]
+    assert [v for _, v in series["lat_sum"].points] == [0.5, 2.0]
+
+
+def test_unattached_ticker_schedules_nothing():
+    """A bare registry (no ticker) leaves the event schedule untouched."""
+    sim = Simulator(seed=1)
+    sim.attach_metrics(MetricsRegistry())
+
+    async def work():
+        await sim.sleep(0.01)
+
+    sim.create_task(work())
+    sim.run(until=1.0)
+    baseline = sim.events_processed
+
+    sim2 = Simulator(seed=1)
+
+    async def work2():
+        await sim2.sleep(0.01)
+
+    sim2.create_task(work2())
+    sim2.run(until=1.0)
+    assert sim2.events_processed == baseline
+
+
+def test_timeseries_last_and_from_dict_defaults():
+    empty = TimeSeries("m")
+    assert empty.last() == 0.0
+    loaded = TimeSeries.from_dict({"name": "m"})
+    assert loaded.labels == {} and loaded.points == []

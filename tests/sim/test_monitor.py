@@ -4,7 +4,14 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.sim.monitor import Histogram, MeasurementWindow, Monitor
+from repro.sim.monitor import (
+    Counter,
+    Gauge,
+    Histogram,
+    MeasurementWindow,
+    Monitor,
+    metric_key,
+)
 
 
 def test_counter_accumulates():
@@ -153,8 +160,8 @@ def test_tagged_commits_and_aborts():
     mon = Monitor(window=MeasurementWindow(0.0, 10.0))
     mon.record_commit(now=1.0, latency=0.01, fast_path=True, tag="payment")
     mon.record_abort(now=1.0, tag="payment")
-    assert mon.counter("commits/payment").value == 1
-    assert mon.counter("aborts/payment").value == 1
+    assert mon.counter("commits", tag="payment").value == 1
+    assert mon.counter("aborts", tag="payment").value == 1
 
 
 def test_open_loop_accounting():
@@ -178,3 +185,67 @@ def test_open_loop_metrics_zero_in_closed_loop():
     mon.record_commit(now=1.0, latency=0.01, fast_path=True)
     assert mon.offered_tps() == 0.0
     assert mon.shed_count() == 0
+
+
+# ---------------------------------------------------------------------------
+# Gauges, labels, and reset semantics (the repro.obs primitives)
+# ---------------------------------------------------------------------------
+def test_gauge_set_add_inc_dec():
+    g = Gauge("depth")
+    assert g.value == 0.0
+    g.set(5.0)
+    g.add(1.5)
+    g.inc()
+    g.dec()
+    assert g.value == pytest.approx(6.5)
+    g.add(-2.0)
+    assert g.value == pytest.approx(4.5)
+
+
+def test_metric_key_formatting():
+    assert metric_key("m", None) == "m"
+    assert metric_key("m", {}) == "m"
+    assert metric_key("m", {"z": "1", "a": "2"}) == "m{a=2,z=1}"
+
+
+def test_monitor_labeled_factories_are_identity_maps():
+    mon = Monitor()
+    assert mon.counter("c", tag="x") is mon.counter("c", tag="x")
+    assert mon.counter("c", tag="x") is not mon.counter("c", tag="y")
+    assert mon.gauge("g", node="r0") is mon.gauge("g", node="r0")
+    assert mon.histogram("h") is mon.histogram("h")
+
+
+def test_monitor_reset_zeroes_everything():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    mon.record_commit(now=1.0, latency=0.01, fast_path=True, tag="t")
+    mon.record_abort(now=1.0)
+    mon.gauge("depth").set(3.0)
+    mon.histogram("lat").record(0.5)
+    mon.reset()
+    assert mon.counter("commits", tag="t").value == 0
+    assert mon.counter("aborts").value == 0
+    assert mon.gauge("depth").value == 0.0
+    assert mon.histogram("lat").count == 0
+    # metrics survive reset as objects: references stay valid
+    mon.gauge("depth").inc()
+    assert mon.gauge("depth").value == 1.0
+
+
+def test_counter_and_histogram_reset():
+    c = Counter("c", {"a": "1"})
+    c.add(3)
+    c.reset()
+    assert c.value == 0
+    h = Histogram("h")
+    h.record(1.0)
+    h.reset()
+    assert h.count == 0 and h.sum() == 0.0
+
+
+def test_labeled_and_bare_counters_are_distinct_series():
+    mon = Monitor(window=MeasurementWindow(0.0, 10.0))
+    mon.record_commit(now=1.0, latency=0.01, fast_path=True)  # bare
+    mon.record_commit(now=1.0, latency=0.01, fast_path=True, tag="t")
+    assert mon.counter("commits").value == 2  # untagged total counts both
+    assert mon.counter("commits", tag="t").value == 1

@@ -126,3 +126,49 @@ def test_render_utilization_smoke(traced_commit):
 
 def test_network_timeline_empty():
     assert network_timeline(Tracer(Simulator())) == []
+
+
+# ---------------------------------------------------------------------------
+# Degenerate traces: empty, single-event, instants-only
+# ---------------------------------------------------------------------------
+def test_empty_trace_all_views():
+    """Every analysis view handles a trace with no events at all."""
+    tracer = Tracer(Simulator())
+    assert phase_histograms(tracer) == {}
+    assert transaction_phases(tracer, "deadbeef") == []
+    assert phase_durations(tracer, "deadbeef") == {}
+    assert cpu_utilization(tracer) == {}
+    assert network_timeline(tracer) == []
+    assert "(no txn spans recorded)" in render_phase_breakdown(tracer)
+    assert "(no cpu spans recorded)" in render_utilization(tracer)
+
+
+def test_single_event_trace():
+    """One lone span still produces a one-phase, one-bucket view."""
+    tracer = Tracer(Simulator())
+    tracer.complete("c0", "txn", "st1", 0.001, 0.004, txid="ab")
+    hists = phase_histograms(tracer)
+    assert set(hists) == {"st1"}
+    assert hists["st1"].count == 1
+    assert hists["st1"].mean() == pytest.approx(0.003)
+    assert phase_durations(tracer, "ab") == {"st1": pytest.approx(0.003)}
+    # a single cpu span lands in exactly the buckets its cost covers
+    tracer.clear()
+    tracer.complete("s0/r0", "cpu", "work", 0.0, 0.002, cost=0.002)
+    util = cpu_utilization(tracer, bucket=0.001)
+    assert set(util) == {"s0/r0"}
+    assert sum(u * 0.001 for _, u in util["s0/r0"]) == pytest.approx(0.002)
+
+
+def test_instants_only_trace():
+    """Instant events (dur=None) never feed span views, only net counts."""
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.instant("c0", "txn", "abort", txid="ab")
+    tracer.instant("s0/r0", "cpu", "preempt")
+    tracer.instant("c0", "net", "drop", reason="adversary")
+    assert phase_histograms(tracer) == {}
+    assert transaction_phases(tracer, "ab") == []
+    assert cpu_utilization(tracer) == {}
+    timeline = network_timeline(tracer)
+    assert timeline == [(0.0, 0, 0, 1)]
