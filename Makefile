@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check parallel-smoke parallel-ladder examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,11 +26,21 @@ fault-sweep:
 	python -m repro.faults sweep --seeds 25
 
 perf-smoke:
-	pytest benchmarks/perf_kernel.py -m perf_smoke -q -s
+	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py -m perf_smoke -q -s
 
 perf-record:
-	python -m repro.perf record --out BENCH_PR3.json
-	python -m repro.perf record --out BENCH_PR3.json --quick
+	python -m repro.perf record --out BENCH_PR6.json
+	python -m repro.perf record --out BENCH_PR6.json --quick
+	python -m repro.parallel ladder --out BENCH_PR6.json
+	python -m repro.parallel ladder --out BENCH_PR6.json --quick
+
+parallel-smoke:
+	pytest tests/parallel -m parallel_smoke -q
+	python -m repro.parallel run --kind basil --workers 2 --shards 3 --duration 0.02 --warmup 0.005 --clients 4 --keys 300
+
+parallel-ladder:
+	python -m repro.parallel ladder --out BENCH_PR6.json
+	python -m repro.parallel ladder --out BENCH_PR6.json --quick
 
 load-smoke:
 	pytest tests -m load_smoke -q

@@ -1,0 +1,94 @@
+"""Perf gate for the space-parallel kernel (PR 6): the scale ladder.
+
+Run via ``make perf-smoke``: executes the *quick* scale ladder of
+``python -m repro.parallel ladder --quick`` (w1/w2/w4 on the partitioned
+kernel microbench, one fresh process per point) and asserts
+
+* windowed digests are identical across worker counts (determinism),
+* the event count is identical across worker counts (same schedule),
+* 4 workers beat the sequential kernel by a conservative floor, and
+* no ladder point's wall clock regressed >15% vs the recorded
+  ``BENCH_*.json`` baseline (rows ``parallel-ladder-quick-w{N}``).
+
+The speedup floor here is deliberately below the full-scale ladder's
+headline number (>=2x at 4 workers, recorded in BENCH_PR6.json): the
+quick ladder runs a ~6x smaller timer population so it fits in CI, and
+a shared machine adds noise.  The floor catches "parallelism stopped
+helping at all", not small perf drift — drift is the baseline gate's
+job.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.__main__ import ladder_spec, measure
+from repro.perf.compare import compare_to_baseline, find_baseline
+from repro.perf.harness import BenchEntry
+
+pytestmark = pytest.mark.perf_smoke
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Minimum acceptable quick-ladder speedup of w4 over w1.  Measured
+#: ~3x on an otherwise-idle 1-CPU host (~1.8x inside a busy pytest
+#: process); anything under this means the partitioned runtime lost its
+#: structural advantage (or the windowed exchange got pathologically
+#: expensive).
+MIN_W4_SPEEDUP = 1.4
+
+
+@pytest.fixture(scope="module")
+def ladder_rows():
+    spec = ladder_spec(quick=True)
+    rows = []
+    for workers in (1, 2, 4):
+        row = measure(spec, workers)
+        row["bench"] = f"parallel-ladder-quick-w{workers}"
+        rows.append(row)
+    return rows
+
+
+def test_ladder_completes(ladder_rows):
+    assert [row["workers"] for row in ladder_rows] == [1, 2, 4]
+    for row in ladder_rows:
+        assert row["events"] > 0
+        assert row["wall_s"] > 0.0
+
+
+def test_ladder_digests_and_events_invariant(ladder_rows):
+    digests = {row["digest"] for row in ladder_rows}
+    assert len(digests) == 1, "digest varies with worker count"
+    events = {row["events"] for row in ladder_rows}
+    assert len(events) == 1, "event count varies with worker count"
+
+
+def test_four_workers_beat_sequential(ladder_rows):
+    by_workers = {row["workers"]: row for row in ladder_rows}
+    speedup = by_workers[4]["events_per_s"] / by_workers[1]["events_per_s"]
+    print(f"\nquick-ladder speedup w4 vs w1: {speedup:.2f}x")
+    assert speedup >= MIN_W4_SPEEDUP, (
+        f"w4 speedup {speedup:.2f}x below floor {MIN_W4_SPEEDUP}x"
+    )
+
+
+def test_no_wall_clock_regression(ladder_rows):
+    baseline = find_baseline(REPO_ROOT)
+    if baseline is None:
+        pytest.skip("no BENCH_*.json baseline recorded yet")
+    entries = [
+        BenchEntry(
+            bench=row["bench"],
+            wall_s=row["wall_s"],
+            events_per_s=row["events_per_s"],
+            sim_tput=0.0,
+        )
+        for row in ladder_rows
+    ]
+    regressions, report = compare_to_baseline(entries, baseline)
+    print("\n".join(report))
+    assert not regressions, "wall-clock regression(s):\n" + "\n".join(
+        str(reg) for reg in regressions
+    )

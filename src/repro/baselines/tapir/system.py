@@ -19,7 +19,7 @@ from typing import Any
 
 from repro.config import SystemConfig
 from repro.baselines.tapir.store import TapirStore, TapirVote
-from repro.core.sharding import Sharder
+from repro.core.sharding import Sharder, stream_load
 from repro.core.timestamps import GENESIS, Timestamp
 from repro.core.transaction import TxBuilder, TxRecord
 from repro.errors import ProtocolError, SimTimeoutError
@@ -369,9 +369,13 @@ class TapirSystem:
             self.network.register(replica)
             self.replicas[name] = replica
 
-    def load(self, items: dict[Any, Any]) -> None:
+    def load(self, items: Any) -> None:
+        """Genesis load: accepts a mapping or lazy ``(key, value)`` pairs,
+        streamed in shard-bucketed chunks (see ``stream_load``)."""
+        by_shard: dict[int, list[Any]] = {}
         for replica in self.replicas.values():
-            replica.load(items)
+            by_shard.setdefault(replica.shard, []).append(replica)
+        stream_load(self.sharder, by_shard, items)
 
     def create_client(self) -> TapirClient:
         from repro.core.system import CLOCK_EPOCH

@@ -114,16 +114,33 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def run(self) -> BenchResult:
+        end_time = self.setup()
+        self.system.sim.run(until=end_time)
+        return self.finalize()
+
+    def setup(self, load_data: bool = True) -> float:
+        """Wire up the benchmark without advancing time; returns end_time.
+
+        ``run()`` is ``setup(); sim.run(until=end_time); finalize()`` —
+        the split exists for the space-parallel runtime
+        (:mod:`repro.parallel`), whose worker advances time in lookahead
+        windows between the two halves.  ``load_data=False`` skips the
+        genesis load for partitions that host no replicas (the client
+        slice streams nothing anyway, but skipping avoids generating the
+        whole population just to discard it).
+        """
         sim = self.system.sim
         if self.tracer is not None:
             sim.attach_tracer(self.tracer)
         if self.injector is not None:
             self.injector.attach(self.system)
-        self.system.load(self.workload.load_data())
+        if load_data:
+            self.system.load(self.workload.iter_data())
         end_time = self.warmup + self.duration + self.warmup  # + cool-down
         if self.recorder is not None:
             self.recorder.attach(self.system, until=end_time)
-        tasks = []
+        self._tasks = []
+        self._end_time = end_time
         self.correct_clients = 0
         self.byz_clients = 0
         for i in range(self.num_clients):
@@ -136,19 +153,23 @@ class ExperimentRunner:
             else:
                 self.correct_clients += 1
             rng = sim.rng(f"bench-client-{i}")
-            tasks.append(
+            self._tasks.append(
                 sim.create_task(
                     self._client_loop(client, rng, end_time), name=f"bench-{i}"
                 )
             )
-        sim.run(until=end_time)
+        return end_time
+
+    def finalize(self) -> BenchResult:
+        """Tear down after time has reached ``end_time``; returns results."""
+        sim = self.system.sim
         if self.cancel_at_end:
-            for task in tasks:
+            for task in self._tasks:
                 task.cancel()
         if self.verify_history:
             from repro.verify.history import HistoryChecker
 
-            sim.run(until=end_time + self.drain)  # drain in-flight writebacks
+            sim.run(until=self._end_time + self.drain)  # drain writebacks
             HistoryChecker(self.system).assert_ok()
         return self._result()
 

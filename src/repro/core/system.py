@@ -12,7 +12,7 @@ from typing import Any, Awaitable, Callable, Type
 from repro.config import SystemConfig
 from repro.core.client import BasilClient
 from repro.core.replica import BasilReplica
-from repro.core.sharding import Sharder
+from repro.core.sharding import Sharder, stream_load
 from repro.crypto.signatures import KeyRegistry
 from repro.sim.loop import Simulator
 from repro.sim.network import Network, NetworkAdversary
@@ -24,16 +24,30 @@ CLOCK_EPOCH = 1.0
 
 
 class BasilSystem:
-    """A complete Basil deployment (shards x (5f+1) replicas + clients)."""
+    """A complete Basil deployment (shards x (5f+1) replicas + clients).
+
+    ``partition`` (optional) builds one *slice* of the deployment for a
+    space-parallel run (:mod:`repro.parallel`): an object exposing
+    ``partition_id`` (this slice), ``partition_of(name) -> int``, and
+    ``roster() -> iterable[str]`` (every node name in the whole
+    deployment).  Only local nodes are constructed; remote names are
+    registered with the network so messages to them leave as exchange
+    envelopes, and the full roster's signing keys are pre-issued so
+    signatures minted by any partition verify here (the registry's
+    per-signer derivation makes that order-independent).
+    """
 
     def __init__(
         self,
         config: SystemConfig | None = None,
         replica_class: Type[BasilReplica] = BasilReplica,
         adversary: NetworkAdversary | None = None,
+        partition: Any = None,
     ) -> None:
         self.config = config or SystemConfig()
-        self.sim = Simulator(seed=self.config.seed)
+        self.partition = partition
+        pid = partition.partition_id if partition is not None else None
+        self.sim = Simulator(seed=self.config.seed, partition_id=pid)
         self.network = Network(self.sim, self.config.network, adversary=adversary)
         self.registry = KeyRegistry(seed=self.config.seed)
         self.sharder = Sharder(self.config)
@@ -42,22 +56,52 @@ class BasilSystem:
         self._next_client_id = 1
         skew_rng = self.sim.rng("clock-skew")
         for name in self.sharder.all_replicas():
+            if partition is not None and partition.partition_of(name) != pid:
+                self.network.register_remote(name)
+                continue
             replica = replica_class(
                 self.sim, name, self.network, self.config, self.sharder, self.registry
             )
             replica.clock_offset = CLOCK_EPOCH + skew_rng.uniform(
                 -self.config.clock_skew, self.config.clock_skew
             )
+            replica.partition_id = pid
             self.network.register(replica)
             self.replicas[name] = replica
+        if partition is not None:
+            for name in partition.roster():
+                self.registry.issue(name)
+                if (
+                    name not in self.replicas
+                    and partition.partition_of(name) != pid
+                    and not self.network.is_remote(name)
+                ):
+                    self.network.register_remote(name)
 
     # ------------------------------------------------------------------
     # Setup
     # ------------------------------------------------------------------
-    def load(self, items: dict[Any, Any]) -> None:
-        """Install genesis key/value state on every replica of its shard."""
-        for replica in self.replicas.values():
-            replica.load(items)
+    def load(self, items: Any) -> None:
+        """Install genesis key/value state on every replica of its shard.
+
+        ``items`` may be a mapping or any iterable of ``(key, value)``
+        pairs — e.g. a lazy ``Workload.iter_data()`` generator — streamed
+        through in shard-bucketed chunks so paper-scale populations (10 M
+        YCSB keys, 1 M Smallbank accounts) load without ever
+        materializing the full key list, and each replica only sees its
+        own shard's keys.  Pure setup: never schedules events or draws
+        from an RNG stream, so the load path cannot perturb schedules.
+        """
+        by_shard: dict[int, list[BasilReplica]] = {}
+        for shard in range(self.config.num_shards):
+            local = [
+                self.replicas[name]
+                for name in self.sharder.members(shard)
+                if name in self.replicas
+            ]
+            if local:
+                by_shard[shard] = local
+        stream_load(self.sharder, by_shard, items)
 
     def create_client(
         self, client_class: Type[BasilClient] = BasilClient, **kwargs: Any
@@ -77,6 +121,8 @@ class BasilSystem:
         client.clock_offset = CLOCK_EPOCH + skew_rng.uniform(
             -self.config.clock_skew, self.config.clock_skew
         )
+        if self.partition is not None:
+            client.partition_id = self.partition.partition_id
         self.network.register(client)
         self.clients.append(client)
         return client

@@ -97,19 +97,26 @@ def payload_digest_of(signed: SignedMessage) -> Digest:
 class KeyRegistry:
     """The system's PKI: issues keys and verifies signatures.
 
-    Deterministic: tokens are drawn from an RNG seeded at construction,
-    so repeated runs produce identical signatures.
+    Deterministic *and order-independent*: a signer's token is a pure
+    function of ``(seed, signer)``, so two registries with the same seed
+    agree on every key no matter which identities each has issued, or in
+    what order.  Space-parallel runs (:mod:`repro.parallel`) rely on
+    this — every partition builds its own registry and pre-issues the
+    full topology, and signatures minted in one worker process verify in
+    any other.  Token values never enter canonical encodings (they are
+    secret material), so the derivation scheme cannot affect schedules
+    or trace digests.
     """
 
     def __init__(self, seed: int = 0) -> None:
-        self._rng = random.Random(f"keys/{seed}")
+        self.seed = seed
         self._tokens: dict[str, int] = {}
 
     def issue(self, signer: str) -> SigningKey:
         """Create (or re-derive) the signing key for ``signer``."""
         token = self._tokens.get(signer)
         if token is None:
-            token = self._rng.getrandbits(128)
+            token = random.Random(f"keys/{self.seed}/{signer}").getrandbits(128)
             self._tokens[signer] = token
         return SigningKey(signer, token)
 

@@ -1,0 +1,531 @@
+"""Model builders: turn a picklable spec into partitions or a sequential run.
+
+A :class:`ModelSpec` is the unit shipped to worker processes: a pure
+description of *what* to simulate (system kind, config, workload,
+clients, durations) from which any process can build its own partitions.
+Two builders exist per model:
+
+* ``build_sequential(spec)`` — the whole system on one plain simulator
+  (the ``workers=1`` path, byte-identical to a hand-built sequential
+  run);
+* ``build_partition(spec, plan, pid)`` — one partition's slice as a
+  :class:`PartitionHost`, used by workers in windowed runs.
+
+Supported kinds: ``basil`` and ``microbench`` build partitioned;
+``tapir`` and ``txsmr`` are sequential-only (they exist so the parallel
+front-end can drive all three systems with one interface, and so the
+``workers=1`` golden-digest guarantee covers the baselines too).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.parallel.exchange import Envelope, PartitionResult
+from repro.parallel.partition import PartitionPlan, basil_plan, uniform_plan
+from repro.sim.loop import Simulator
+
+PARTITIONED_KINDS = ("basil", "microbench")
+SEQUENTIAL_KINDS = PARTITIONED_KINDS + ("tapir", "txsmr")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Picklable description of one simulated run."""
+
+    kind: str = "basil"
+    #: SystemConfig for protocol kinds (picklable frozen dataclass);
+    #: None uses each system's defaults.
+    config: Any = None
+    workload: str = "ycsb-t"
+    workload_keys: int = 500
+    num_clients: int = 6
+    duration: float = 0.05
+    warmup: float = 0.02
+    #: Attach a tracer per partition and compute trace digests.
+    trace: bool = True
+    #: Attach an ObsRecorder per partition and merge the RunReports.
+    obs: bool = False
+    #: Freeze the cyclic GC after build (both modes; see docs/parallel.md).
+    gc_freeze: bool = False
+    # -- microbench knobs ------------------------------------------------
+    partitions: int = 8
+    timers: int = 2_000  #: self-rescheduling timers per partition
+    cross_every: int = 64  #: one cross-partition ping per this many fires
+    lookahead: float = 1e-4  #: microbench window width (seconds)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SEQUENTIAL_KINDS:
+            raise SimulationError(f"unknown model kind {self.kind!r}")
+
+    def system_config(self) -> Any:
+        if self.config is not None:
+            return self.config
+        from repro.config import SystemConfig
+
+        return SystemConfig()
+
+    def make_workload(self) -> Any:
+        from repro.workloads import make_workload
+
+        return make_workload(self.workload, keys=self.workload_keys)
+
+    def end_time(self) -> float:
+        if self.kind == "microbench":
+            return self.duration
+        return self.warmup + self.duration + self.warmup  # + cool-down
+
+
+def make_plan(spec: ModelSpec) -> PartitionPlan:
+    if spec.kind == "basil":
+        return basil_plan(spec.system_config(), spec.num_clients)
+    if spec.kind == "microbench":
+        return uniform_plan(spec.partitions, spec.lookahead)
+    raise SimulationError(
+        f"model kind {spec.kind!r} is sequential-only (use workers=1)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Partition hosts
+# ---------------------------------------------------------------------------
+class PartitionHost:
+    """One partition's runtime inside a worker process.
+
+    Lifecycle: ``start()`` (schedule initial work; no events execute),
+    then per window ``deliver(env)*`` + ``sim.run(until=bound)`` driven
+    by the worker loop, then ``finalize()`` once all windows are done.
+    Outbound cross-partition messages accumulate in ``take_outbox()``.
+    """
+
+    partition_id: int
+    sim: Simulator
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def deliver(self, env: Envelope) -> None:
+        raise NotImplementedError
+
+    def take_outbox(self) -> tuple[Envelope, ...]:
+        raise NotImplementedError
+
+    def finalize(self) -> PartitionResult:
+        raise NotImplementedError
+
+
+class BasilPartitionHost(PartitionHost):
+    """One Basil partition: a shard's replicas, or the client slice."""
+
+    def __init__(self, spec: ModelSpec, plan: PartitionPlan, pid: int) -> None:
+        from repro.core.system import BasilSystem
+
+        self.spec = spec
+        self.plan = plan
+        self.partition_id = pid
+        self.is_client_partition = pid == plan.num_partitions - 1
+        self.system = BasilSystem(spec.system_config(), partition=plan.slice(pid))
+        self.sim = self.system.sim
+        self.tracer = None
+        if spec.trace:
+            from repro.trace.tracer import Tracer
+
+            self.tracer = self.sim.attach_tracer(Tracer())
+        self.recorder = None
+        self.runner = None
+        self._outbox: list[Envelope] = []
+        self._seq = 0
+        self._cross_received = 0
+        self.system.network.bind_partition(self._remote_send, plan.lookahead)
+
+    def _remote_send(self, src: str, dst: str, message: Any, delay: float) -> None:
+        sim = self.sim
+        self._outbox.append(
+            Envelope(
+                src=src,
+                dst=dst,
+                src_partition=self.partition_id,
+                dst_partition=self.plan.partition_of(dst),
+                seq=self._seq,
+                send_time=sim.now,
+                deliver_time=sim.now + delay,
+                payload=message,
+            )
+        )
+        self._seq += 1
+
+    def start(self) -> None:
+        spec = self.spec
+        workload = spec.make_workload()
+        if spec.obs:
+            from repro.obs.recorder import ObsRecorder
+
+            self.recorder = ObsRecorder()
+        if self.is_client_partition:
+            from repro.bench.runner import ExperimentRunner
+
+            self.runner = ExperimentRunner(
+                self.system,
+                workload,
+                num_clients=spec.num_clients,
+                duration=spec.duration,
+                warmup=spec.warmup,
+                recorder=self.recorder,
+            )
+            self.runner.setup(load_data=False)
+        else:
+            self.system.load(workload.iter_data())
+            if self.recorder is not None:
+                self.recorder.attach(self.system, until=spec.end_time())
+
+    def deliver(self, env: Envelope) -> None:
+        self._cross_received += 1
+        self.sim.call_at(
+            max(env.deliver_time, self.sim.now),
+            self.system.network.deliver_remote,
+            env.src,
+            env.dst,
+            env.payload,
+        )
+
+    def take_outbox(self) -> tuple[Envelope, ...]:
+        out = tuple(self._outbox)
+        self._outbox.clear()
+        return out
+
+    def finalize(self) -> PartitionResult:
+        bench = None
+        if self.runner is not None:
+            from repro.obs.report import _jsonable
+
+            bench = _jsonable(self.runner.finalize())
+        report = None
+        if self.recorder is not None:
+            report = self.recorder.finish(
+                f"parallel/p{self.partition_id}", config=self.system.config
+            ).to_dict()
+        digest = ""
+        if self.tracer is not None:
+            from repro.trace.export import trace_digest
+
+            digest = trace_digest(self.tracer)
+        network = self.system.network
+        return PartitionResult(
+            partition_id=self.partition_id,
+            digest=digest,
+            events=self.sim.events_processed,
+            now=self.sim.now,
+            rng_streams=self.sim.rng_streams(),
+            cross_sent=self._seq,
+            cross_received=self._cross_received,
+            messages_delivered=network.messages_delivered,
+            messages_dropped=network.messages_dropped,
+            bench=bench,
+            report=report,
+        )
+
+
+class MicrobenchPartitionHost(PartitionHost):
+    """The scale-ladder kernel load: a large standing timer population.
+
+    Each partition hosts ``spec.timers`` self-rescheduling timers (fixed
+    per-timer periods drawn once from the partition's ``timers`` RNG
+    stream), so the pending-event population stays constant at ``K`` for
+    the whole run — exactly the regime where partition-local heaps beat
+    one global heap.  Every ``cross_every``-th fire emits a
+    cross-partition ping with delay ``1.5 * lookahead``; deliveries fold
+    into an order-independent XOR digest so sequential and windowed
+    executions of the same spec can be compared exactly.
+    """
+
+    def __init__(self, spec: ModelSpec, plan: PartitionPlan, pid: int) -> None:
+        self.spec = spec
+        self.plan = plan
+        self.partition_id = pid
+        self.sim = Simulator(seed=spec.system_config().seed, partition_id=pid)
+        self._outbox: list[Envelope] = []
+        self._seq = 0
+        self._state = _MicrobenchState()
+        self._cross_delay = 1.5 * plan.lookahead
+
+    def start(self) -> None:
+        _microbench_schedule(
+            self.sim,
+            self.sim.rng("timers"),
+            self.spec,
+            self._state,
+            self._emit_cross,
+        )
+
+    def _emit_cross(self, dst_partition: int) -> None:
+        sim = self.sim
+        self._outbox.append(
+            Envelope(
+                src=f"p{self.partition_id}",
+                dst=f"p{dst_partition}",
+                src_partition=self.partition_id,
+                dst_partition=dst_partition,
+                seq=self._seq,
+                send_time=sim.now,
+                deliver_time=sim.now + self._cross_delay,
+                payload=None,
+            )
+        )
+        self._seq += 1
+
+    def deliver(self, env: Envelope) -> None:
+        self.sim.call_at(
+            max(env.deliver_time, self.sim.now),
+            self._state.fold_cross,
+            env.deliver_time,
+            env.src_partition,
+            env.seq,
+        )
+
+    def take_outbox(self) -> tuple[Envelope, ...]:
+        out = tuple(self._outbox)
+        self._outbox.clear()
+        return out
+
+    def finalize(self) -> PartitionResult:
+        state = self._state
+        return PartitionResult(
+            partition_id=self.partition_id,
+            digest=state.digest(),
+            events=self.sim.events_processed,
+            now=self.sim.now,
+            rng_streams=self.sim.rng_streams(),
+            cross_sent=self._seq,
+            cross_received=state.cross_received,
+            extra={"fires": state.fires},
+        )
+
+
+class _MicrobenchState:
+    """Per-partition microbench accumulators (order-independent fold)."""
+
+    __slots__ = ("fires", "cross_received", "_xor")
+
+    def __init__(self) -> None:
+        self.fires = 0
+        self.cross_received = 0
+        self._xor = 0
+
+    def fold_cross(self, deliver_time: float, src_partition: int, seq: int) -> None:
+        self.cross_received += 1
+        key = f"{deliver_time!r}/{src_partition}/{seq}".encode()
+        self._xor ^= int.from_bytes(hashlib.sha256(key).digest()[:16], "big")
+
+    def digest(self) -> str:
+        payload = f"{self.fires}:{self.cross_received}:{self._xor:032x}"
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _microbench_schedule(sim, rng, spec: ModelSpec, state: _MicrobenchState, emit_cross) -> None:
+    """Install one partition's timer population on ``sim``.
+
+    ``emit_cross(dst_partition)`` is called on every ``cross_every``-th
+    fire; destinations rotate over the other partitions so the traffic
+    pattern is deterministic and layout-invariant.
+    """
+    num_partitions = spec.partitions
+    cross_every = spec.cross_every
+
+    def fire(period: float) -> None:
+        state.fires += 1
+        if cross_every and state.fires % cross_every == 0:
+            step = 1 + (state.fires // cross_every) % max(1, num_partitions - 1)
+            emit_cross((_pid_of(sim) + step) % num_partitions)
+        sim.call_later(period, fire, period)
+
+    for _ in range(spec.timers):
+        period = rng.uniform(0.0008, 0.0012)
+        sim.call_later(rng.uniform(0.0, period), fire, period)
+
+
+def _pid_of(sim) -> int:
+    pid = sim.partition_id
+    return pid if pid is not None else getattr(sim, "_virtual_pid", 0)
+
+
+def build_partition(spec: ModelSpec, plan: PartitionPlan, pid: int) -> PartitionHost:
+    if spec.kind == "basil":
+        return BasilPartitionHost(spec, plan, pid)
+    if spec.kind == "microbench":
+        return MicrobenchPartitionHost(spec, plan, pid)
+    raise SimulationError(f"model kind {spec.kind!r} has no partitioned build")
+
+
+# ---------------------------------------------------------------------------
+# Sequential builds (the workers=1 path)
+# ---------------------------------------------------------------------------
+class SequentialRun:
+    """The whole spec on one plain simulator (no partitions, no windows).
+
+    Construction wires everything; ``run()`` advances time to the end
+    and returns a :class:`PartitionResult`-shaped summary (partition id
+    -1).  For protocol kinds this is byte-identical to building the
+    system and runner by hand — the golden-digest tests pin that.
+    """
+
+    def __init__(self, spec: ModelSpec) -> None:
+        self.spec = spec
+        self.tracer = None
+        self.recorder = None
+        self.runner = None
+        self._micro_states: list[_MicrobenchState] = []
+        if spec.kind == "microbench":
+            self.sim = Simulator(seed=spec.system_config().seed)
+            self.system = None
+        else:
+            self.system = _sequential_system(spec)
+            self.sim = self.system.sim
+        if spec.trace and spec.kind != "microbench":
+            from repro.trace.tracer import Tracer
+
+            self.tracer = self.sim.attach_tracer(Tracer())
+        if spec.obs and spec.kind != "microbench":
+            from repro.obs.recorder import ObsRecorder
+
+            self.recorder = ObsRecorder()
+
+    def start(self) -> None:
+        """Schedule all initial work without executing any event."""
+        spec = self.spec
+        if spec.kind == "microbench":
+            self._start_microbench()
+            return
+        from repro.bench.runner import ExperimentRunner
+
+        self.runner = ExperimentRunner(
+            self.system,
+            spec.make_workload(),
+            num_clients=spec.num_clients,
+            duration=spec.duration,
+            warmup=spec.warmup,
+            recorder=self.recorder,
+        )
+        self.runner.setup()
+
+    def _start_microbench(self) -> None:
+        """All P virtual partitions on one simulator, one global heap.
+
+        Each virtual partition draws from ``random.Random(f"{seed}/p{i}/
+        timers")`` — the exact key a partitioned simulator would derive —
+        so timer populations (and therefore fires/digests) are identical
+        between this build and the windowed one.  Cross-partition pings
+        become plain ``call_later`` deliveries at the same virtual times.
+        """
+        spec = self.spec
+        seed = spec.system_config().seed
+        states = [_MicrobenchState() for _ in range(spec.partitions)]
+        self._micro_states = states
+        seqs = [0] * spec.partitions
+        delay = 1.5 * spec.lookahead
+
+        for pid in range(spec.partitions):
+            rng = random.Random(f"{seed}/p{pid}/timers")
+
+            def emit_cross(dst: int, pid: int = pid) -> None:
+                seq = seqs[pid]
+                seqs[pid] += 1
+                self.sim.call_later(
+                    delay, states[dst].fold_cross, self.sim.now + delay, pid, seq
+                )
+
+            # each virtual partition needs its own pid for ping routing
+            shim = _VirtualPidSim(self.sim, pid)
+            _microbench_schedule(shim, rng, spec, states[pid], emit_cross)
+
+    def run(self) -> PartitionResult:
+        self.start()
+        return self.run_prepared()
+
+    def run_prepared(self) -> PartitionResult:
+        """Advance to end_time and summarize (``start()`` already called)."""
+        spec = self.spec
+        self.sim.run(until=spec.end_time())
+        bench = None
+        if self.runner is not None:
+            from repro.obs.report import _jsonable
+
+            bench = _jsonable(self.runner.finalize())
+        report = None
+        if self.recorder is not None:
+            report = self.recorder.finish(
+                f"sequential/{spec.kind}", config=getattr(self.system, "config", None)
+            ).to_dict()
+        if spec.kind == "microbench":
+            digest = _combine_micro(self._micro_states)
+        elif self.tracer is not None:
+            from repro.trace.export import trace_digest
+
+            digest = trace_digest(self.tracer)
+        else:
+            digest = ""
+        network = getattr(self.system, "network", None)
+        return PartitionResult(
+            partition_id=-1,
+            digest=digest,
+            events=self.sim.events_processed,
+            now=self.sim.now,
+            rng_streams=self.sim.rng_streams(),
+            cross_sent=0,
+            cross_received=sum(s.cross_received for s in self._micro_states),
+            messages_delivered=getattr(network, "messages_delivered", 0),
+            messages_dropped=getattr(network, "messages_dropped", 0),
+            bench=bench,
+            report=report,
+        )
+
+
+def _combine_micro(states: list[_MicrobenchState]) -> str:
+    from repro.parallel.merge import combine_digests
+
+    return combine_digests({pid: s.digest() for pid, s in enumerate(states)})
+
+
+class _VirtualPidSim:
+    """A pid-tagged view of a shared simulator (sequential microbench).
+
+    Forwards scheduling to the real simulator; only exists so
+    ``_microbench_schedule`` can ask "which partition am I?" identically
+    in both builds.
+    """
+
+    __slots__ = ("_sim", "_virtual_pid")
+
+    def __init__(self, sim: Simulator, pid: int) -> None:
+        self._sim = sim
+        self._virtual_pid = pid
+
+    @property
+    def partition_id(self):
+        return None
+
+    @property
+    def now(self) -> float:
+        return self._sim.now
+
+    def call_later(self, delay: float, fn, *args) -> Any:
+        return self._sim.call_later(delay, fn, *args)
+
+
+def _sequential_system(spec: ModelSpec) -> Any:
+    if spec.kind == "basil":
+        from repro.core.system import BasilSystem
+
+        return BasilSystem(spec.system_config())
+    if spec.kind == "tapir":
+        from repro.baselines.tapir.system import TapirSystem
+
+        return TapirSystem(spec.system_config())
+    if spec.kind == "txsmr":
+        from repro.baselines.txsmr.system import TxSMRSystem
+
+        return TxSMRSystem(spec.system_config())
+    raise SimulationError(f"no sequential builder for {spec.kind!r}")

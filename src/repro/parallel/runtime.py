@@ -1,0 +1,258 @@
+"""The coordinator: fork workers, barrier windows, merge results.
+
+:class:`ParallelRunner` is the front door of :mod:`repro.parallel`.
+``workers=1`` delegates to the sequential kernel (byte-identical to a
+hand-built sequential run); ``workers >= 2`` builds the partition plan,
+forks workers (each hosting one or more logical partitions), and drives
+the windowed exchange of :mod:`repro.parallel.exchange` to completion.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.parallel.exchange import (
+    Envelope,
+    PartitionResult,
+    WindowGrant,
+    WorkerError,
+    WorkerReady,
+    WorkerResult,
+    window_count,
+)
+from repro.parallel.merge import combine_digests, merge_partition_reports
+from repro.parallel.models import (
+    PARTITIONED_KINDS,
+    ModelSpec,
+    SequentialRun,
+    make_plan,
+)
+from repro.parallel.partition import audit_rng_streams
+
+
+@dataclass
+class ParallelResult:
+    """The merged outcome of one (possibly partitioned) run."""
+
+    digest: str
+    events: int
+    workers: int
+    partitions: int
+    windows: int
+    wall_s: float
+    lookahead: float
+    sim_seconds: float
+    bench: dict[str, Any] | None = None
+    report: dict[str, Any] | None = None  #: merged obs RunReport dict
+    cross_messages: int = 0
+    undeliverable: int = 0  #: envelopes due after the end of the run
+    per_partition: dict[int, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class ParallelRunner:
+    """Run a :class:`ModelSpec` across ``workers`` processes."""
+
+    def __init__(self, spec: ModelSpec, workers: int = 1) -> None:
+        if workers < 1:
+            raise SimulationError("need at least one worker")
+        if workers > 1 and spec.kind not in PARTITIONED_KINDS:
+            raise SimulationError(
+                f"model kind {spec.kind!r} only supports workers=1 "
+                f"(partitioned kinds: {', '.join(PARTITIONED_KINDS)})"
+            )
+        self.spec = spec
+        self.workers = workers
+
+    def run(self) -> ParallelResult:
+        if self.workers == 1:
+            return self._run_sequential()
+        return self._run_windowed()
+
+    # ------------------------------------------------------------------
+    def _run_sequential(self) -> ParallelResult:
+        """The workers=1 path: the plain sequential kernel, no windows.
+
+        Byte-identical (trace digest) to building the same system and
+        runner by hand — pinned by the golden-digest tests.
+        """
+        spec = self.spec
+        seq = SequentialRun(spec)
+        seq.start()
+        if spec.gc_freeze:
+            import gc
+
+            gc.collect()
+            gc.freeze()
+            gc.disable()
+        t0 = time.perf_counter()
+        result = seq.run_prepared()
+        wall = time.perf_counter() - t0
+        return ParallelResult(
+            digest=result.digest,
+            events=result.events,
+            workers=1,
+            partitions=1,
+            windows=0,
+            wall_s=wall,
+            lookahead=0.0,
+            sim_seconds=result.now,
+            bench=result.bench,
+            report=result.report,
+            per_partition={-1: _summary(result)},
+        )
+
+    # ------------------------------------------------------------------
+    def _run_windowed(self) -> ParallelResult:
+        spec = self.spec
+        plan = make_plan(spec)
+        ownership = plan.assign_workers(self.workers)
+        num_workers = len(ownership)  # capped at plan.num_partitions
+        end_time = spec.end_time()
+        windows = window_count(end_time, plan.lookahead)
+
+        from repro.parallel.worker import worker_main
+
+        ctx = mp.get_context("fork")
+        pipes = []
+        procs = []
+        try:
+            for worker_id, owned in enumerate(ownership):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child, worker_id, spec, plan, owned),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                pipes.append(parent)
+                procs.append(proc)
+
+            for conn in pipes:
+                _expect(conn.recv(), WorkerReady)
+
+            # Measurement starts after the build barrier: fork + system
+            # construction + genesis load are setup, not simulation.
+            t0 = time.perf_counter()
+            pending: dict[int, list[Envelope]] = {
+                pid: [] for pid in range(plan.num_partitions)
+            }
+            cross_messages = 0
+            for window in range(windows):
+                until = min((window + 1) * plan.lookahead, end_time)
+                for worker_id, conn in enumerate(pipes):
+                    inbound = {
+                        pid: tuple(pending[pid]) for pid in ownership[worker_id]
+                    }
+                    for pid in ownership[worker_id]:
+                        pending[pid] = []
+                    conn.send(WindowGrant(window, until, inbound))
+                for conn in pipes:
+                    reports = _expect(conn.recv(), tuple)
+                    for report in reports:
+                        for env in report.outbound:
+                            cross_messages += 1
+                            pending[env.dst_partition].append(env)
+            undeliverable = sum(len(v) for v in pending.values())
+
+            for conn in pipes:
+                conn.send(None)
+            partition_results: dict[int, PartitionResult] = {}
+            for conn in pipes:
+                result = _expect(conn.recv(), WorkerResult)
+                for part in result.partitions:
+                    partition_results[part.partition_id] = part
+            wall = time.perf_counter() - t0
+            for proc in procs:
+                proc.join(timeout=30)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for conn in pipes:
+                conn.close()
+
+        return self._merge(
+            plan, partition_results, num_workers, windows, wall, cross_messages,
+            undeliverable,
+        )
+
+    def _merge(
+        self,
+        plan,
+        results: dict[int, PartitionResult],
+        num_workers: int,
+        windows: int,
+        wall: float,
+        cross_messages: int,
+        undeliverable: int,
+    ) -> ParallelResult:
+        spec = self.spec
+        if len(results) != plan.num_partitions:
+            raise SimulationError(
+                f"merge expected {plan.num_partitions} partitions, "
+                f"got {sorted(results)}"
+            )
+        audit_rng_streams(
+            spec.system_config().seed,
+            {pid: r.rng_streams for pid, r in results.items()},
+        )
+        digest = combine_digests({pid: r.digest for pid, r in results.items()})
+        bench = next(
+            (r.bench for _, r in sorted(results.items()) if r.bench is not None), None
+        )
+        report = None
+        partials = {
+            pid: r.report for pid, r in results.items() if r.report is not None
+        }
+        if partials:
+            report = merge_partition_reports(
+                partials,
+                name=f"parallel/{spec.kind}",
+                bench=bench,
+                trace_digest=digest,
+                meta={"workers": num_workers, "windows": windows},
+            )
+        return ParallelResult(
+            digest=digest,
+            events=sum(r.events for r in results.values()),
+            workers=num_workers,
+            partitions=plan.num_partitions,
+            windows=windows,
+            wall_s=wall,
+            lookahead=plan.lookahead,
+            sim_seconds=max(r.now for r in results.values()),
+            bench=bench,
+            report=report,
+            cross_messages=cross_messages,
+            undeliverable=undeliverable,
+            per_partition={pid: _summary(r) for pid, r in results.items()},
+        )
+
+
+def _summary(result: PartitionResult) -> dict[str, Any]:
+    return {
+        "digest": result.digest,
+        "events": result.events,
+        "cross_sent": result.cross_sent,
+        "cross_received": result.cross_received,
+        "messages_delivered": result.messages_delivered,
+        "messages_dropped": result.messages_dropped,
+        **(result.extra or {}),
+    }
+
+
+def _expect(message: Any, kind: type) -> Any:
+    if isinstance(message, WorkerError):
+        raise SimulationError(f"worker {message.worker_id} failed:\n{message.error}")
+    if not isinstance(message, kind):
+        raise SimulationError(f"unexpected exchange message {message!r}")
+    return message

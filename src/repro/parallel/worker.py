@@ -1,0 +1,85 @@
+"""The worker-process side of the windowed exchange.
+
+``worker_main`` is the top-level entry point each forked worker runs: it
+builds its owned partitions from the (picklable) spec + plan, signals
+readiness, then executes lookahead windows as the coordinator grants
+them.  A worker may own several partitions (workers <= partitions);
+each partition is its own simulator, so ownership cannot affect
+schedules — only which process pays for them.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+import traceback
+
+from repro.parallel.exchange import (
+    WindowReport,
+    WorkerError,
+    WorkerReady,
+    WorkerResult,
+    envelope_order,
+)
+from repro.parallel.models import ModelSpec, build_partition
+from repro.parallel.partition import PartitionPlan
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    spec: ModelSpec,
+    plan: PartitionPlan,
+    owned: tuple[int, ...],
+) -> None:
+    """Run ``owned`` partitions to completion over pipe ``conn``.
+
+    Protocol: send WorkerReady; then for each received
+    :class:`WindowGrant` run every owned partition to the grant's bound
+    and reply with a tuple of :class:`WindowReport`; a ``None`` grant
+    ends the run, answered with a :class:`WorkerResult`.  Any exception
+    is reported as a :class:`WorkerError` (traceback included) instead
+    of dying silently.
+    """
+    try:
+        hosts = [build_partition(spec, plan, pid) for pid in owned]
+        for host in hosts:
+            host.start()
+        if spec.gc_freeze:
+            # The standing event population (timers, tasks, futures) is
+            # long-lived; without freezing, gen-2 collections repeatedly
+            # scan millions of live EventHandles and drown the
+            # partition-local scheduling win.  Applied identically to the
+            # sequential build by the ladder, so comparisons stay fair.
+            gc.collect()
+            gc.freeze()
+            gc.disable()
+        conn.send(WorkerReady(worker_id))
+        t0 = time.perf_counter()
+        while True:
+            grant = conn.recv()
+            if grant is None:
+                break
+            reports = []
+            for host in hosts:
+                inbound = grant.inbound.get(host.partition_id, ())
+                if inbound:
+                    # Deterministic merge: schedule in (deliver_time,
+                    # src_partition, seq) order so local event sequence
+                    # numbers never depend on arrival order.
+                    for env in sorted(inbound, key=envelope_order):
+                        host.deliver(env)
+                host.sim.run(until=grant.until)
+                reports.append(
+                    WindowReport(grant.window, host.partition_id, host.take_outbox())
+                )
+            conn.send(tuple(reports))
+        wall = time.perf_counter() - t0
+        results = tuple(host.finalize() for host in hosts)
+        conn.send(WorkerResult(worker_id, results, wall))
+    except BaseException:
+        try:
+            conn.send(WorkerError(worker_id, traceback.format_exc()))
+        except Exception:
+            pass
+        raise

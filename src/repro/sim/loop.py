@@ -293,11 +293,28 @@ class EventHandle:
 
 
 class Simulator:
-    """Deterministic event loop over virtual time (seconds)."""
+    """Deterministic event loop over virtual time (seconds).
 
-    def __init__(self, seed: int = 0) -> None:
+    ``partition_id`` marks this simulator as one logical partition of a
+    space-parallel run (:mod:`repro.parallel`): every named RNG stream is
+    then derived from ``(seed, partition_id, stream)`` so no two
+    partitions ever share randomness, regardless of how partitions are
+    packed onto worker processes.  ``None`` (the default) is the
+    sequential kernel — stream derivation is byte-identical to what it
+    has always been.
+    """
+
+    def __init__(self, seed: int = 0, partition_id: int | None = None) -> None:
         self.now: float = 0.0
         self.seed = seed
+        #: Logical partition this simulator executes (None = sequential).
+        self.partition_id = partition_id
+        #: Prefix of every RNG stream key; partition-namespaced streams
+        #: can never collide with the sequential form (or each other)
+        #: because stream names are opaque suffixes of distinct prefixes.
+        self._rng_prefix = (
+            f"{seed}/" if partition_id is None else f"{seed}/p{partition_id}/"
+        )
         self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._events_processed = 0
@@ -325,12 +342,26 @@ class Simulator:
     # Randomness
     # ------------------------------------------------------------------
     def rng(self, stream: str) -> random.Random:
-        """Return a named RNG stream, stable across runs for a given seed."""
+        """Return a named RNG stream, stable across runs for a given seed.
+
+        On a partitioned simulator the stream key is derived from
+        ``(seed, partition_id, stream)`` — see :meth:`rng_streams` and
+        :func:`repro.parallel.partition.audit_rng_streams`.
+        """
         rng = self._rngs.get(stream)
         if rng is None:
-            rng = random.Random(f"{self.seed}/{stream}")
+            rng = random.Random(self._rng_prefix + stream)
             self._rngs[stream] = rng
         return rng
+
+    def rng_streams(self) -> dict[str, str]:
+        """Every stream drawn so far, mapped to its full derivation key.
+
+        The RNG-stream audit uses this to assert that a partitioned run
+        never derives a stream outside its ``(seed, partition_id)``
+        namespace.
+        """
+        return {stream: self._rng_prefix + stream for stream in self._rngs}
 
     # ------------------------------------------------------------------
     # Scheduling

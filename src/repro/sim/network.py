@@ -51,6 +51,19 @@ class Network:
         #: destination (a bug — raise) from a crashed/unregistered node
         #: (a fault — drop the message).
         self._known: set[str] = set()
+        #: Names that live in *other* partitions of a space-parallel run
+        #: (:mod:`repro.parallel`).  Messages to them leave this network
+        #: through ``_remote_send`` as serializable envelopes instead of
+        #: local events.  Empty in sequential runs.
+        self._remote: set[str] = set()
+        #: Hook installed by ``bind_partition``: ``(src, dst, message,
+        #: delay) -> None``.  The parallel runtime uses it to append the
+        #: message to the partition's outbox for the windowed exchange.
+        self._remote_send = None
+        #: Conservative lookahead: every cross-partition delivery delay
+        #: must be >= this bound, or the windowed exchange could deliver
+        #: into a window another partition has already executed.
+        self._lookahead = 0.0
         self._rng = sim.rng("network")
         self.messages_delivered = 0
         self.messages_dropped = 0
@@ -59,6 +72,8 @@ class Network:
     def register(self, node: Node) -> None:
         if node.name in self._nodes:
             raise SimulationError(f"duplicate node name {node.name!r}")
+        if node.name in self._remote:
+            raise SimulationError(f"{node.name!r} is remote; cannot also be local")
         self._nodes[node.name] = node
         self._known.add(node.name)
 
@@ -75,6 +90,35 @@ class Network:
     def __contains__(self, name: str) -> bool:
         return name in self._nodes
 
+    # -- space-parallel partitioning ------------------------------------
+    def register_remote(self, name: str) -> None:
+        """Declare ``name`` a real node hosted by another partition.
+
+        Sends to it are routed through the cross-partition exchange; it
+        is never a "typo'd destination" error and never a crashed-node
+        drop.
+        """
+        if name in self._nodes:
+            raise SimulationError(f"{name!r} is local; cannot also be remote")
+        self._remote.add(name)
+        self._known.add(name)
+
+    def is_remote(self, name: str) -> bool:
+        return name in self._remote
+
+    def bind_partition(self, remote_send, lookahead: float) -> None:
+        """Install the cross-partition send hook (parallel runtime only).
+
+        ``remote_send(src, dst, message, delay)`` receives every message
+        addressed to a node registered via :meth:`register_remote`, after
+        the usual latency/drop/adversary treatment; ``delay`` is the full
+        delivery delay and is guaranteed >= ``lookahead``.
+        """
+        if lookahead <= 0.0:
+            raise SimulationError("cross-partition lookahead must be positive")
+        self._remote_send = remote_send
+        self._lookahead = lookahead
+
     # -- latency model ----------------------------------------------------
     def sample_latency(self) -> float:
         base = self.config.one_way_latency
@@ -86,6 +130,9 @@ class Network:
     def send(self, src: Node, dst: str, message: Any) -> None:
         """Fire-and-forget unicast from ``src`` to the node named ``dst``."""
         metrics = self.sim.metrics
+        if dst in self._remote:
+            self._send_remote(src, dst, message)
+            return
         if dst not in self._nodes:
             if dst not in self._known:
                 raise SimulationError(f"unknown destination {dst!r}")
@@ -137,6 +184,70 @@ class Network:
                 dst=dst, msg=type(message).__name__, delay=delay,
             )
         self.sim.call_later(delay, self._deliver, src.name, dst, message)
+
+    def _send_remote(self, src: Node, dst: str, message: Any) -> None:
+        """The cross-partition leg of :meth:`send`.
+
+        Mirrors the local path exactly — accounting, drop_rate, latency
+        sampling, and adversary all behave the same, drawing from this
+        partition's own RNG streams — but the delivery becomes a
+        serializable envelope handed to the exchange instead of a local
+        ``call_later``.
+        """
+        if self._remote_send is None:
+            raise SimulationError(
+                f"{dst!r} is remote but no partition exchange is bound"
+            )
+        src.messages_sent += 1
+        metrics = self.sim.metrics
+        tracer = self.sim.tracer
+        config = self.config
+        if metrics.enabled:
+            metrics.counter("net_sends_total").add()
+        if config.drop_rate and self._rng.random() < config.drop_rate:
+            self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="drop_rate").add()
+            if tracer.enabled:
+                tracer.instant(
+                    src.name, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="drop_rate",
+                )
+            return
+        base = config.one_way_latency
+        if config.jitter:
+            base += self._rng.uniform(0.0, config.jitter)
+        delay = self.adversary.intercept(src.name, dst, message, base)
+        if delay is None:
+            self.messages_dropped += 1
+            if metrics.enabled:
+                metrics.counter("net_drops_total", reason="adversary").add()
+            if tracer.enabled:
+                tracer.instant(
+                    src.name, "net", "drop",
+                    dst=dst, msg=type(message).__name__, reason="adversary",
+                )
+            return
+        if delay < self._lookahead:
+            raise SimulationError(
+                f"cross-partition delay {delay} violates lookahead "
+                f"{self._lookahead} ({src.name} -> {dst})"
+            )
+        if tracer.enabled:
+            tracer.instant(
+                src.name, "net", "send",
+                dst=dst, msg=type(message).__name__, delay=delay,
+            )
+        self._remote_send(src.name, dst, message, delay)
+
+    def deliver_remote(self, src: str, dst: str, message: Any) -> None:
+        """Deliver an envelope that arrived from another partition.
+
+        Called by the parallel runtime at the envelope's delivery time;
+        from here on the message is indistinguishable from a local one
+        (crashed-node drops, metrics, tracing all apply).
+        """
+        self._deliver(src, dst, message)
 
     def broadcast(self, src: Node, dsts: Iterable[str], message: Any) -> None:
         """Unicast the same message to every destination (independent delays)."""

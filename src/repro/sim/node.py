@@ -135,6 +135,14 @@ class Node:
         self.name = name
         self.node_config = config or NodeConfig()
         self.cpu = Cpu(sim, self.node_config.cores, owner=name)
+        #: Logical partition this node executes on in a space-parallel
+        #: run (:mod:`repro.parallel`).  ``None`` in sequential runs.
+        #: Set by the partitioned system builder; the parallel worker
+        #: validates it against the partition plan, and messages to nodes
+        #: in other partitions leave the worker as serializable envelopes
+        #: (:class:`repro.parallel.exchange.Envelope`) instead of local
+        #: events.
+        self.partition_id: int | None = None
         #: Clock offset relative to true simulated time (models NTP skew).
         self.clock_offset = 0.0
         self.messages_received = 0

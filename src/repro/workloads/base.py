@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Awaitable, Callable
+from typing import Any, Awaitable, Callable, Iterator
 
 #: A transaction body: drives reads/writes on a session.  The harness
 #: calls ``commit()`` afterwards and handles retries.
@@ -39,8 +39,24 @@ class Workload:
     name = "base"
 
     def load_data(self) -> dict[Any, Any]:
-        """Genesis key/value state for ``system.load``."""
-        raise NotImplementedError
+        """Genesis key/value state for ``system.load``.
+
+        Materializes the full population; prefer :meth:`iter_data` for
+        paper-scale configs (10 M-key YCSB, 1 M-account Smallbank) — all
+        ``system.load`` implementations accept either form.
+        """
+        return dict(self.iter_data())
+
+    def iter_data(self) -> Iterator[tuple[Any, Any]]:
+        """Yield genesis ``(key, value)`` pairs lazily, in load order.
+
+        Subclasses with generable populations override this so workers in
+        a space-parallel run can stream keys through shard-bucketed
+        chunks instead of materializing every key list in every process.
+        The default round-trips through :meth:`load_data` for workloads
+        whose population is irreducibly table-driven.
+        """
+        yield from self.load_data().items()
 
     def next_transaction(self, rng: random.Random) -> TxTask:
         """Generate the next transaction for one closed-loop client."""

@@ -10,7 +10,7 @@ population is scaled down for simulation).
 from __future__ import annotations
 
 import random
-from typing import Any
+from typing import Any, Iterator
 
 from repro.workloads.base import TxTask, Workload, pick_mix
 
@@ -47,12 +47,12 @@ class SmallbankWorkload(Workload):
         self.hot_probability = hot_probability
         self.initial_balance = initial_balance
 
-    def load_data(self) -> dict[Any, Any]:
-        data: dict[Any, Any] = {}
+    def iter_data(self) -> Iterator[tuple[Any, Any]]:
+        """Stream accounts lazily: checking then savings, in account order
+        (the same insertion order the eager dict used)."""
         for account in range(self.num_accounts):
-            data[checking_key(account)] = self.initial_balance
-            data[savings_key(account)] = self.initial_balance
-        return data
+            yield checking_key(account), self.initial_balance
+            yield savings_key(account), self.initial_balance
 
     def _pick_account(self, rng: random.Random) -> int:
         if rng.random() < self.hot_probability:

@@ -1,0 +1,73 @@
+"""Worker-count invariance: digests are a function of the model, not
+of how partitions are packed onto processes.
+
+These tests fork real worker processes (multiprocessing) — the same
+machinery ``python -m repro.parallel`` uses — and pin the headline
+guarantee of docs/parallel.md: w2 and w4 runs of the same spec produce
+identical combined digests, and the microbench windowed digest equals
+its sequential (one-heap) execution exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.parallel import ParallelRunner
+from repro.parallel.models import ModelSpec
+
+pytestmark = pytest.mark.parallel_smoke
+
+MICRO = ModelSpec(
+    kind="microbench",
+    partitions=4,
+    timers=300,
+    duration=0.002,
+    cross_every=16,
+    lookahead=1e-4,
+)
+
+
+def test_microbench_digest_invariant_across_worker_counts():
+    sequential = ParallelRunner(MICRO, workers=1).run()
+    w2 = ParallelRunner(MICRO, workers=2).run()
+    w4 = ParallelRunner(MICRO, workers=4).run()
+    assert sequential.digest == w2.digest == w4.digest
+    assert w2.cross_messages > 0, "microbench produced no cross traffic"
+    assert w2.cross_messages == w4.cross_messages
+    assert w2.partitions == w4.partitions == 4
+    assert w2.workers == 2 and w4.workers == 4
+
+
+def test_microbench_workers_capped_at_partitions():
+    result = ParallelRunner(MICRO, workers=16).run()
+    assert result.workers == 4  # 4 partitions -> at most 4 workers
+    assert result.digest == ParallelRunner(MICRO, workers=2).run().digest
+
+
+def test_basil_digest_invariant_across_worker_counts():
+    spec = ModelSpec(
+        kind="basil",
+        config=SystemConfig(f=1, num_shards=3, seed=2024),
+        workload="ycsb-t",
+        workload_keys=300,
+        num_clients=4,
+        duration=0.02,
+        warmup=0.005,
+    )
+    w2 = ParallelRunner(spec, workers=2).run()
+    w4 = ParallelRunner(spec, workers=4).run()
+    assert w2.digest == w4.digest
+    assert w2.partitions == w4.partitions == 4  # 3 shards + clients
+    assert w2.cross_messages > 0
+    assert w2.cross_messages == w4.cross_messages
+    assert w2.bench is not None and w4.bench is not None
+    assert w2.bench["commits"] == w4.bench["commits"] > 0
+    assert w2.bench["throughput"] == pytest.approx(w4.bench["throughput"])
+
+
+def test_sequential_only_kinds_reject_partitioned_runs():
+    spec = ModelSpec(kind="tapir", duration=0.01, warmup=0.002)
+    with pytest.raises(SimulationError, match="workers=1"):
+        ParallelRunner(spec, workers=2)

@@ -1,0 +1,116 @@
+"""Unit tests for the windowed exchange building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NetworkConfig, SystemConfig
+from repro.errors import SimulationError
+from repro.parallel.exchange import Envelope, envelope_order, window_count
+from repro.sim.loop import Simulator
+from repro.sim.network import Network
+from repro.sim.node import Node
+
+
+def env(deliver_time: float, src_partition: int, seq: int) -> Envelope:
+    return Envelope(
+        src="a",
+        dst="b",
+        src_partition=src_partition,
+        dst_partition=0,
+        seq=seq,
+        send_time=0.0,
+        deliver_time=deliver_time,
+        payload=None,
+    )
+
+
+def test_envelope_order_is_stable_and_total():
+    envelopes = [env(2.0, 1, 0), env(1.0, 2, 5), env(1.0, 0, 9), env(1.0, 0, 3)]
+    ordered = sorted(envelopes, key=envelope_order)
+    assert [envelope_order(e) for e in ordered] == [
+        (1.0, 0, 3),
+        (1.0, 0, 9),
+        (1.0, 2, 5),
+        (2.0, 1, 0),
+    ]
+
+
+def test_window_count():
+    assert window_count(0.0, 0.1) == 0
+    assert window_count(0.05, 0.1) == 1
+    assert window_count(0.1, 0.1) == 1  # (0, W] covers end exactly
+    assert window_count(0.30000000000000004, 0.1) == 3  # float-noise tolerant
+    assert window_count(0.35, 0.1) == 4
+
+
+class _Sink(Node):
+    async def handle_message(self, sender, message):
+        pass
+
+
+def test_register_remote_conflicts_with_local():
+    sim = Simulator(seed=7)
+    network = Network(sim)
+    node = _Sink(sim, "s0/r0")
+    network.register(node)
+    with pytest.raises(SimulationError):
+        network.register_remote("s0/r0")
+    network.register_remote("s1/r0")
+    assert network.is_remote("s1/r0")
+    with pytest.raises(SimulationError):  # remote, so it cannot become local
+        network.register(_Sink(sim, "s1/r0"))
+
+
+def test_remote_send_without_binding_raises():
+    sim = Simulator(seed=7)
+    network = Network(sim)
+    src = _Sink(sim, "s0/r0")
+    network.register(src)
+    network.register_remote("s1/r0")
+    with pytest.raises(SimulationError):
+        network.send(src, "s1/r0", "hello")
+
+
+class _ShorteningAdversary:
+    """Delivers everything instantly — illegal under a lookahead bound."""
+
+    def intercept(self, src, dst, message, base_delay):
+        return 0.0
+
+
+def test_lookahead_violation_is_detected():
+    config = SystemConfig(network=NetworkConfig(one_way_latency=75e-6, jitter=0.0))
+    sim = Simulator(seed=7)
+    network = Network(sim, config.network, adversary=_ShorteningAdversary())
+    src = _Sink(sim, "s0/r0")
+    network.register(src)
+    network.register_remote("s1/r0")
+    outbox = []
+    network.bind_partition(
+        lambda s, d, m, delay: outbox.append((s, d, m, delay)),
+        lookahead=75e-6,
+    )
+    with pytest.raises(SimulationError, match="lookahead"):
+        network.send(src, "s1/r0", "hello")
+    assert outbox == []
+
+
+def test_remote_send_produces_envelope_with_full_delay():
+    config = SystemConfig(network=NetworkConfig(one_way_latency=75e-6, jitter=10e-6))
+    sim = Simulator(seed=7)
+    network = Network(sim, config.network)
+    src = _Sink(sim, "s0/r0")
+    network.register(src)
+    network.register_remote("s1/r0")
+    outbox = []
+    network.bind_partition(
+        lambda s, d, m, delay: outbox.append((s, d, m, delay)), lookahead=75e-6
+    )
+    network.send(src, "s1/r0", "hello")
+    assert len(outbox) == 1
+    _, dst, message, delay = outbox[0]
+    assert dst == "s1/r0"
+    assert message == "hello"
+    assert 75e-6 <= delay <= 85e-6
+    assert src.messages_sent == 1

@@ -1,0 +1,87 @@
+"""Golden digests: ``workers=1`` is byte-identical to a hand-built run.
+
+The parallel front-end must be a pure wrapper at ``workers=1``: same
+trace digest (hence identical event schedule), same event count, same
+bench numbers as constructing the system and runner by hand.  This is
+the contract that lets every existing experiment move behind
+:class:`ParallelRunner` without re-baselining anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.parallel import ParallelRunner
+from repro.parallel.models import ModelSpec
+from repro.trace.export import trace_digest
+from repro.trace.tracer import Tracer
+from repro.workloads import make_workload
+
+pytestmark = pytest.mark.parallel_smoke
+
+NUM_CLIENTS = 4
+DURATION = 0.02
+WARMUP = 0.005
+KEYS = 300
+
+
+def _config(num_shards: int = 2) -> SystemConfig:
+    return SystemConfig(f=1, num_shards=num_shards, seed=2024)
+
+
+def _spec(kind: str, config: SystemConfig) -> ModelSpec:
+    return ModelSpec(
+        kind=kind,
+        config=config,
+        workload="ycsb-t",
+        workload_keys=KEYS,
+        num_clients=NUM_CLIENTS,
+        duration=DURATION,
+        warmup=WARMUP,
+    )
+
+
+def _hand_built(kind: str, config: SystemConfig):
+    if kind == "basil":
+        from repro.core.system import BasilSystem
+
+        system = BasilSystem(config)
+    elif kind == "tapir":
+        from repro.baselines.tapir.system import TapirSystem
+
+        system = TapirSystem(config)
+    else:
+        from repro.baselines.txsmr.system import TxSMRSystem
+
+        system = TxSMRSystem(config)
+    tracer = system.sim.attach_tracer(Tracer())
+    runner = ExperimentRunner(
+        system,
+        make_workload("ycsb-t", keys=KEYS),
+        num_clients=NUM_CLIENTS,
+        duration=DURATION,
+        warmup=WARMUP,
+    )
+    bench = runner.run()
+    return trace_digest(tracer), system.sim.events_processed, bench
+
+
+@pytest.mark.parametrize("kind", ["basil", "tapir", "txsmr"])
+def test_workers1_identical_to_hand_built(kind):
+    config = _config()
+    digest, events, bench = _hand_built(kind, config)
+    result = ParallelRunner(_spec(kind, config), workers=1).run()
+    assert result.digest == digest
+    assert result.events == events
+    assert result.workers == 1 and result.windows == 0
+    assert result.bench is not None
+    assert result.bench["commits"] == bench.commits
+    assert result.bench["throughput"] == pytest.approx(bench.throughput)
+
+
+def test_workers1_run_commits_transactions():
+    result = ParallelRunner(_spec("basil", _config()), workers=1).run()
+    assert result.bench["commits"] > 0
+    assert result.bench["commit_rate"] > 0.9

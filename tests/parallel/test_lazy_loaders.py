@@ -1,0 +1,103 @@
+"""Lazy workload loading: iter_data generators and streamed genesis load."""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.config import SystemConfig
+from repro.core.sharding import Sharder, stream_load
+from repro.workloads import make_workload
+
+
+def test_iter_data_is_a_true_generator():
+    workload = make_workload("ycsb-t", keys=100)
+    it = workload.iter_data()
+    assert inspect.isgenerator(it)
+    first = next(it)
+    assert isinstance(first, tuple) and len(first) == 2
+
+
+def test_ycsb_iter_matches_eager_load():
+    workload = make_workload("ycsb-t", keys=200)
+    assert list(workload.iter_data()) == list(workload.load_data().items())
+
+
+def test_smallbank_iter_matches_eager_load():
+    workload = make_workload("smallbank", keys=50)
+    assert list(workload.iter_data()) == list(workload.load_data().items())
+
+
+def test_huge_keyspace_iterates_without_materializing():
+    # Paper scale: 10M keys.  Building the dict would be ~GBs; iterating
+    # the first few items must be effectively free.
+    workload = make_workload("ycsb-t", keys=10_000_000)
+    it = workload.iter_data()
+    for _ in range(5):
+        key, value = next(it)
+        assert isinstance(value, bytes)
+    it.close()
+
+
+class _Store:
+    def __init__(self):
+        self.chunks = []
+
+    def load(self, mapping):
+        self.chunks.append(dict(mapping))
+
+    def flat(self):
+        out = {}
+        for chunk in self.chunks:
+            out.update(chunk)
+        return out
+
+
+def test_stream_load_matches_eager_placement():
+    config = SystemConfig(num_shards=3)
+    sharder = Sharder(config)
+    workload = make_workload("ycsb-t", keys=300)
+    targets = {shard: [_Store()] for shard in range(3)}
+    stream_load(sharder, targets, workload.iter_data(), chunk_size=17)
+    eager = workload.load_data()
+    seen = {}
+    for shard, stores in targets.items():
+        for key, value in stores[0].flat().items():
+            assert sharder.shard_of(key) == shard
+            seen[key] = value
+    assert seen == eager
+
+
+def test_stream_load_chunks_are_bounded():
+    config = SystemConfig(num_shards=2)
+    sharder = Sharder(config)
+    store = _Store()
+    items = ((f"k{i}", b"v") for i in range(1000))
+    stream_load(sharder, {0: [store], 1: [_Store()]}, items, chunk_size=64)
+    assert store.chunks, "shard 0 received no data"
+    assert max(len(c) for c in store.chunks) <= 64
+
+
+def test_stream_load_skips_unhosted_shards():
+    # A partition hosting only shard 1 must silently drop shard-0 keys.
+    config = SystemConfig(num_shards=2)
+    sharder = Sharder(config)
+    store = _Store()
+    workload = make_workload("ycsb-t", keys=200)
+    stream_load(sharder, {1: [store]}, workload.iter_data())
+    loaded = store.flat()
+    assert loaded
+    assert all(sharder.shard_of(k) == 1 for k in loaded)
+
+
+def test_stream_load_no_targets_consumes_nothing():
+    config = SystemConfig(num_shards=2)
+    sharder = Sharder(config)
+    consumed = []
+
+    def items():
+        for i in range(10):
+            consumed.append(i)
+            yield f"k{i}", b"v"
+
+    stream_load(sharder, {}, items())
+    assert consumed == []  # client-only partitions pay nothing
