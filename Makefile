@@ -26,7 +26,7 @@ fault-sweep:
 	python -m repro.faults sweep --seeds 25
 
 perf-smoke:
-	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py -m perf_smoke -q -s
+	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py benchmarks/perf_figures.py -m perf_smoke -q -s
 
 perf-record:
 	python -m repro.perf record --out BENCH_PR6.json

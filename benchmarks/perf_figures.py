@@ -1,0 +1,102 @@
+"""Perf gate for figure runs on the parallel kernel (PR 8).
+
+Run via ``make perf-smoke``: executes one quick fig4 Basil point (the
+YCSB-T uniform workload on a 2-shard config) under the parallel runtime
+at 2 and 4 workers and asserts
+
+* the merged trace digest and bench row are invariant across worker
+  counts (partition schedules depend on the plan, never on packing),
+* the run produces committed transactions, and
+* neither point's measured wall clock regressed >15% vs the recorded
+  ``BENCH_*.json`` baseline (rows ``figures/fig4-basil-quick-w{N}``).
+
+Wall clock is the runtime's measured window (after the fork + genesis
+build barrier), so the gate tracks simulation throughput rather than
+process startup noise.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.experiments import Scale
+from repro.config import SystemConfig
+from repro.parallel.models import ModelSpec
+from repro.parallel.runtime import ParallelRunner
+from repro.perf.compare import compare_to_baseline, find_baseline
+from repro.perf.harness import BenchEntry
+
+pytestmark = pytest.mark.perf_smoke
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _fig4_spec() -> ModelSpec:
+    scale = Scale.quick()
+    return ModelSpec(
+        kind="basil",
+        config=SystemConfig(f=1, batch_size=4, num_shards=2),
+        workload="ycsb-u",
+        workload_keys=scale.ycsb_keys,
+        num_clients=scale.clients,
+        duration=scale.duration,
+        warmup=scale.warmup,
+        label="fig4-basil-perf",
+    )
+
+
+@pytest.fixture(scope="module")
+def figure_rows():
+    spec = _fig4_spec()
+    rows = []
+    for workers in (2, 4):
+        result = ParallelRunner(spec, workers=workers).run()
+        rows.append(
+            {
+                "bench": f"figures/fig4-basil-quick-w{workers}",
+                "workers": workers,
+                "digest": result.digest,
+                "wall_s": result.wall_s,
+                "events": result.events,
+                "events_per_s": result.events_per_s,
+                "bench_row": result.bench,
+            }
+        )
+    return rows
+
+
+def test_figure_point_completes(figure_rows):
+    for row in figure_rows:
+        assert row["events"] > 0
+        assert row["wall_s"] > 0.0
+        assert row["bench_row"] is not None
+        assert row["bench_row"]["commits"] > 0
+
+
+def test_figure_digest_invariant_across_workers(figure_rows):
+    digests = {row["digest"] for row in figure_rows}
+    assert len(digests) == 1, "figure digest varies with worker count"
+    commits = {row["bench_row"]["commits"] for row in figure_rows}
+    assert len(commits) == 1, "bench row varies with worker count"
+
+
+def test_no_wall_clock_regression(figure_rows):
+    baseline = find_baseline(REPO_ROOT)
+    if baseline is None:
+        pytest.skip("no BENCH_*.json baseline recorded yet")
+    entries = [
+        BenchEntry(
+            bench=row["bench"],
+            wall_s=row["wall_s"],
+            events_per_s=row["events_per_s"],
+            sim_tput=0.0,
+        )
+        for row in figure_rows
+    ]
+    regressions, report = compare_to_baseline(entries, baseline)
+    print("\n".join(report))
+    assert not regressions, "wall-clock regression(s):\n" + "\n".join(
+        str(reg) for reg in regressions
+    )

@@ -35,38 +35,70 @@ from repro.bench.report import render_series, render_table
 
 
 def _scale(args) -> exp.Scale:
+    if getattr(args, "paper", False):
+        import os
+
+        if os.environ.get("REPRO_QUICK"):
+            # CI smoke boxes can't stream 10M-key populations; honor the
+            # env override so `--paper` recipes still complete there.
+            print("REPRO_QUICK set: substituting quick scale for --paper")
+            return exp.Scale.quick()
+        return exp.Scale.paper()
     return exp.Scale.quick() if args.quick else exp.DEFAULT_SCALE
 
 
 def cmd_fig4(args) -> None:
     apps = [args.app] if args.app else list(exp.APP_WORKLOADS)
     for app in apps:
-        results = exp.fig4_systems(app, scale=_scale(args))
+        results = exp.fig4_systems(app, scale=_scale(args), workers=args.workers)
         print(render_table(f"Fig 4 — {app}", results))
 
 
 def cmd_fig5a(args) -> None:
-    print(render_table("Fig 5a — crypto cost", exp.fig5a_crypto_cost(_scale(args))))
+    print(render_table(
+        "Fig 5a — crypto cost",
+        exp.fig5a_crypto_cost(_scale(args), workers=args.workers),
+    ))
 
 
 def cmd_fig5b(args) -> None:
-    print(render_table("Fig 5b — read quorum", exp.fig5b_read_quorum(_scale(args))))
+    print(render_table(
+        "Fig 5b — read quorum",
+        exp.fig5b_read_quorum(_scale(args), workers=args.workers),
+    ))
 
 
 def cmd_fig5c(args) -> None:
-    print(render_table("Fig 5c — shard scaling", exp.fig5c_shard_scaling(_scale(args))))
+    print(render_table(
+        "Fig 5c — shard scaling",
+        exp.fig5c_shard_scaling(_scale(args), workers=args.workers),
+    ))
 
 
 def cmd_fig6a(args) -> None:
-    print(render_table("Fig 6a — fast path", exp.fig6a_fast_path(_scale(args))))
+    print(render_table(
+        "Fig 6a — fast path",
+        exp.fig6a_fast_path(_scale(args), workers=args.workers),
+    ))
 
 
 def cmd_fig6b(args) -> None:
-    print(render_table("Fig 6b — batching", exp.fig6b_batching(_scale(args))))
+    print(render_table(
+        "Fig 6b — batching",
+        exp.fig6b_batching(_scale(args), workers=args.workers),
+    ))
 
 
 def cmd_fig7(args) -> None:
-    results = exp.fig7_failures(args.dist, scale=_scale(args))
+    scale = _scale(args)
+    schedule = None
+    if getattr(args, "crashes", 0):
+        schedule = exp.fig7_crash_schedule(
+            exp.SystemConfig(f=1, batch_size=4), scale, num_crashes=args.crashes
+        )
+    results = exp.fig7_failures(
+        args.dist, scale=scale, workers=args.workers, fault_schedule=schedule
+    )
     for behaviour, series in results.items():
         print(render_series(f"Fig 7 — {behaviour} ({args.dist})", series))
 
@@ -90,6 +122,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--quick", action="store_true", help="scaled-down smoke run")
     parser.add_argument(
+        "--paper", action="store_true",
+        help="paper-testbed populations (10M YCSB keys, 1M Smallbank "
+        "accounts; see EXPERIMENTS.md); REPRO_QUICK=1 downgrades to "
+        "--quick so smoke environments still complete",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="run Basil figure points on the space-parallel kernel with "
+        "N worker processes (shard-per-partition plan); baselines always "
+        "run sequentially",
+    )
+    parser.add_argument(
+        "--bench-out", default=None, metavar="BENCH_PR8.json",
+        help="append a figures/<cmd>-w<N> wall-clock row into this "
+        "BENCH_*.json (merging with existing entries)",
+    )
+    parser.add_argument(
         "--trace", nargs="?", const="traces", default=None, metavar="DIR",
         help="record a deterministic trace per benchmark; write Chrome "
         "trace_event JSON into DIR (default: traces/) and print the "
@@ -103,20 +152,41 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def _passthrough(p) -> None:
+        # Accept the global flags after the subcommand too (the README
+        # idiom is `fig4 --workers 2`); SUPPRESS keeps an absent
+        # subcommand flag from clobbering the global parse.
+        p.add_argument("--workers", type=int, metavar="N",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--quick", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+        p.add_argument("--paper", action="store_true",
+                       default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
     p4 = sub.add_parser("fig4", help="application throughput/latency (4 systems)")
     p4.add_argument("--app", choices=sorted(exp.APP_WORKLOADS), default=None)
     p4.set_defaults(func=cmd_fig4)
+    _passthrough(p4)
     for name, func in (
         ("fig5a", cmd_fig5a), ("fig5b", cmd_fig5b), ("fig5c", cmd_fig5c),
         ("fig6a", cmd_fig6a), ("fig6b", cmd_fig6b),
     ):
-        sub.add_parser(name).set_defaults(func=func)
+        p = sub.add_parser(name)
+        p.set_defaults(func=func)
+        _passthrough(p)
     p7 = sub.add_parser("fig7", help="Byzantine client failure sweeps")
     p7.add_argument("--dist", choices=["uniform", "zipfian"], default="zipfian")
+    p7.add_argument(
+        "--crashes", type=int, default=0, metavar="N",
+        help="overlay N replica crash/restart faults with plan-derived "
+        "targets (same logical victims at any --workers count)",
+    )
     p7.set_defaults(func=cmd_fig7)
+    _passthrough(p7)
     pall = sub.add_parser("all", help="run every figure")
     pall.add_argument("--dist", default="zipfian", help=argparse.SUPPRESS)
     pall.set_defaults(func=cmd_all)
+    _passthrough(pall)
 
     argv = list(sys.argv[1:] if argv is None else argv)
     # A bare ``--trace`` right before the subcommand would swallow the
@@ -131,7 +201,22 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     exp.set_trace_dir(args.trace)
     exp.set_obs_dir(args.obs)
+    import time
+
+    t0 = time.perf_counter()
     args.func(args)
+    wall = time.perf_counter() - t0
+    if args.bench_out:
+        from repro.parallel.__main__ import merge_bench_rows
+
+        row = {
+            "bench": f"figures/{args.command}-w{args.workers}"
+            + ("-quick" if args.quick else "-paper" if args.paper else ""),
+            "wall_s": wall,
+            "events_per_s": 0.0,
+        }
+        merge_bench_rows(args.bench_out, [row])
+        print(f"figure wall-clock {wall:.3f}s -> {args.bench_out} ({row['bench']})")
     return 0
 
 

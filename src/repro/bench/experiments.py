@@ -15,37 +15,83 @@ clients to reach its knee.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
+from typing import Any
 
 from repro.baselines.tapir.system import TapirSystem
 from repro.baselines.txsmr.system import TxSMRSystem
 from repro.bench.runner import BenchResult, ExperimentRunner
-from repro.byzantine.clients import ByzantineClient
 from repro.config import CryptoConfig, SystemConfig
-from repro.core.system import BasilSystem
-from repro.workloads.retwis import RetwisWorkload
-from repro.workloads.smallbank import SmallbankWorkload
-from repro.workloads.tpcc import TPCCWorkload
-from repro.workloads.ycsb import YCSBWorkload, read_only_workload
 
 
 @dataclass(frozen=True)
 class Scale:
-    """Run-size knobs; ``default`` matches EXPERIMENTS.md numbers."""
+    """Run-size knobs; ``default`` matches EXPERIMENTS.md numbers.
+
+    The population fields cover every figure workload so one Scale fully
+    determines a run: ``default`` is the scaled-down population the
+    sequential kernel handles comfortably, ``paper()`` is the paper's
+    testbed population (Sec 6.1: 10 M YCSB keys, 1 M Smallbank accounts)
+    for use with ``--workers`` on the space-parallel kernel.
+    """
 
     duration: float = 0.3
     warmup: float = 0.1
     clients: int = 40
     baseline_clients: int = 80  # Tx* are latency-bound: they need more
     ycsb_keys: int = 10_000
+    smallbank_accounts: int = 20_000
+    smallbank_hot: int = 1_000
+    retwis_users: int = 20_000
+    tpcc_warehouses: int = 20
+    tpcc_customers: int = 20
+    tpcc_items: int = 200
 
     @classmethod
     def quick(cls) -> "Scale":
         return cls(duration=0.1, warmup=0.05, clients=12, baseline_clients=24,
                    ycsb_keys=2_000)
 
+    @classmethod
+    def paper(cls) -> "Scale":
+        """The paper's populations (Sec 6.1), EXPERIMENTS.md "paper" rows.
+
+        Only the populations grow — run length and client counts stay at
+        the defaults, so wall-clock is dominated by genesis streaming and
+        the larger key space rather than more simulated traffic.
+        """
+        return cls(
+            ycsb_keys=10_000_000,
+            smallbank_accounts=1_000_000,
+            smallbank_hot=1_000,
+            retwis_users=1_000_000,
+            tpcc_warehouses=20,
+        )
+
 
 DEFAULT_SCALE = Scale()
+
+
+@dataclass(frozen=True)
+class WorkloadDesc:
+    """One figure workload as plain data: registry name + population +
+    constructor kwargs.
+
+    Both run paths build from this — the sequential path via
+    :meth:`build`, the parallel path by copying the fields into a
+    :class:`~repro.parallel.models.ModelSpec` — so a figure point is
+    guaranteed to simulate the same workload at any worker count.
+    """
+
+    name: str
+    keys: int
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def build(self):
+        from repro.workloads import make_workload
+
+        return make_workload(self.name, keys=self.keys, **dict(self.kwargs))
 
 #: When set (see :func:`set_trace_dir`), every ``_run`` attaches a fresh
 #: tracer, prints the per-phase latency breakdown after the paper-style
@@ -54,7 +100,13 @@ _TRACE_DIR: str | None = None
 
 
 def set_trace_dir(path: str | None) -> None:
-    """Enable (or disable with ``None``) tracing for every benchmark run."""
+    """Enable (or disable with ``None``) tracing for every benchmark run.
+
+    The globals only configure the *front-end*: parallel runs copy them
+    into the picklable :class:`~repro.parallel.models.ModelSpec`, because
+    module state mutated after workers fork would never reach them (the
+    spec is the only channel into a worker process).
+    """
     global _TRACE_DIR
     if path is not None:
         import os
@@ -123,13 +175,111 @@ def _run(system, workload, clients, scale: Scale, name: str, **kwargs) -> BenchR
     return result
 
 
+def _bench_from_dict(data: dict) -> BenchResult:
+    """Rehydrate the parallel runtime's jsonable bench dict into a row."""
+    known = {f.name for f in dataclasses.fields(BenchResult)}
+    return BenchResult(**{k: v for k, v in data.items() if k in known})
+
+
+def _run_basil(
+    config: SystemConfig,
+    wdesc: WorkloadDesc,
+    clients: int,
+    scale: Scale,
+    name: str,
+    workers: int = 1,
+    fault_schedule=None,
+    byz_behaviour: str | None = None,
+    byz_count: int = 0,
+) -> BenchResult:
+    """One Basil figure point through the parallel front-end.
+
+    ``workers=1`` runs the plain sequential kernel (byte-identical trace
+    digests to the pre-parallel figure path — pinned by the golden-digest
+    tests); ``workers>=2`` partitions by the config's shard layout
+    (:func:`repro.parallel.partition.basil_plan`) and merges per-partition
+    rows/reports back into the sequential schema.  Trace/obs directories
+    travel inside the spec, not module globals, so forked workers write
+    their per-partition artifacts too.
+    """
+    from repro.parallel.models import ModelSpec
+    from repro.parallel.runtime import ParallelRunner
+
+    spec = ModelSpec(
+        kind="basil",
+        config=config,
+        workload=wdesc.name,
+        workload_keys=wdesc.keys,
+        workload_kwargs=wdesc.kwargs,
+        num_clients=clients,
+        duration=scale.duration,
+        warmup=scale.warmup,
+        label=name,
+        trace=_TRACE_DIR is not None,
+        obs=_OBS_DIR is not None,
+        fault_schedule=fault_schedule,
+        byz_client_behaviour=byz_behaviour,
+        byz_client_count=byz_count,
+        trace_dir=_TRACE_DIR,
+        obs_dir=_OBS_DIR,
+    )
+    run = ParallelRunner(spec, workers=workers).run()
+    result = _bench_from_dict(run.bench)
+    if workers > 1:
+        result.extra["workers"] = run.workers
+        result.extra["windows"] = run.windows
+    if run.fault_stats is not None:
+        result.extra.setdefault("fault_stats", dict(run.fault_stats))
+    if _TRACE_DIR is not None:
+        import os
+
+        result.extra["trace_digest"] = run.digest
+        stem = spec.artifact_stem(None if run.workers == 1 else 0)
+        path = os.path.join(_TRACE_DIR, stem + ".trace.json")
+        result.extra["trace_path"] = path
+        print(f"  trace: {path} (digest {run.digest[:12]})")
+    if _OBS_DIR is not None and run.report is not None:
+        import json
+        import os
+
+        path = os.path.join(_OBS_DIR, spec.artifact_stem() + ".obs.json")
+        if run.workers > 1:
+            # partitions wrote their own slices; this is the merged view
+            os.makedirs(_OBS_DIR, exist_ok=True)
+            with open(path, "w") as fh:
+                json.dump(run.report, fh, indent=2, sort_keys=True)
+        result.extra["obs_path"] = path
+        result.extra["health"] = run.report.get("health", "")
+        print(f"  obs: {path} (health {result.extra['health']})")
+    return result
+
+
 # ---------------------------------------------------------------------------
 # Figure 4: application benchmarks, four systems
 # ---------------------------------------------------------------------------
+def app_workload_desc(app: str, scale: Scale = DEFAULT_SCALE) -> WorkloadDesc:
+    """The Fig 4 application workload at ``scale``'s population."""
+    if app == "tpcc":
+        return WorkloadDesc("tpcc", scale.tpcc_warehouses * 100, (
+            ("num_warehouses", scale.tpcc_warehouses),
+            ("customers_per_district", scale.tpcc_customers),
+            ("num_items", scale.tpcc_items),
+        ))
+    if app == "smallbank":
+        return WorkloadDesc(
+            "smallbank", scale.smallbank_accounts,
+            (("hot_accounts", scale.smallbank_hot),),
+        )
+    if app == "retwis":
+        return WorkloadDesc("retwis", scale.retwis_users)
+    raise KeyError(f"unknown fig4 app {app!r}")
+
+
+#: Zero-arg-callable factories kept for compatibility (scripts/tests build
+#: app workloads directly); populations come from the Scale now.
 APP_WORKLOADS = {
-    "tpcc": lambda: TPCCWorkload(num_warehouses=20, customers_per_district=20, num_items=200),
-    "smallbank": lambda: SmallbankWorkload(num_accounts=20_000, hot_accounts=1_000),
-    "retwis": lambda: RetwisWorkload(num_users=20_000),
+    app: (lambda app=app, scale=DEFAULT_SCALE: app_workload_desc(app, scale).build())
+    for app in ("tpcc", "smallbank", "retwis")
 }
 
 #: Per-app tuned batch sizes (paper Sec 6.1: Basil 4 on TPC-C / 16
@@ -141,24 +291,33 @@ APP_BATCHES = {
 }
 
 
-def fig4_systems(app: str, scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
-    """One app (Figure 4a/4b column): throughput + latency per system."""
+def fig4_systems(
+    app: str, scale: Scale = DEFAULT_SCALE, workers: int = 1
+) -> dict[str, BenchResult]:
+    """One app (Figure 4a/4b column): throughput + latency per system.
+
+    ``workers`` parallelizes the Basil point over shard partitions; the
+    baselines have no partitioned build and always run sequentially (the
+    flag still applies — a fig4 sweep with ``--workers`` completes).
+    """
     batches = APP_BATCHES[app]
-    make_wl = APP_WORKLOADS[app]
+    wdesc = app_workload_desc(app, scale)
     results: dict[str, BenchResult] = {}
 
-    basil = BasilSystem(SystemConfig(f=1, batch_size=batches["basil"]))
-    results["basil"] = _run(basil, make_wl(), scale.clients, scale, f"basil/{app}")
+    results["basil"] = _run_basil(
+        SystemConfig(f=1, batch_size=batches["basil"]),
+        wdesc, scale.clients, scale, f"basil/{app}", workers=workers,
+    )
 
     tapir = TapirSystem(SystemConfig(f=1))
-    results["tapir"] = _run(tapir, make_wl(), scale.clients, scale, f"tapir/{app}")
+    results["tapir"] = _run(tapir, wdesc.build(), scale.clients, scale, f"tapir/{app}")
 
     pbft = TxSMRSystem(
         SystemConfig(f=1, smr_batch_size=batches["pbft"], batch_size=batches["basil"]),
         protocol="pbft",
     )
     results["txbftsmart"] = _run(
-        pbft, make_wl(), scale.baseline_clients, scale, f"txbftsmart/{app}"
+        pbft, wdesc.build(), scale.baseline_clients, scale, f"txbftsmart/{app}"
     )
 
     hotstuff = TxSMRSystem(
@@ -166,7 +325,7 @@ def fig4_systems(app: str, scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResul
         protocol="hotstuff",
     )
     results["txhotstuff"] = _run(
-        hotstuff, make_wl(), scale.baseline_clients, scale, f"txhotstuff/{app}"
+        hotstuff, wdesc.build(), scale.baseline_clients, scale, f"txhotstuff/{app}"
     )
     return results
 
@@ -174,7 +333,9 @@ def fig4_systems(app: str, scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResul
 # ---------------------------------------------------------------------------
 # Figure 5a: cost of cryptography (Basil with vs without signatures)
 # ---------------------------------------------------------------------------
-def fig5a_crypto_cost(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
+def fig5a_crypto_cost(
+    scale: Scale = DEFAULT_SCALE, workers: int = 1
+) -> dict[str, BenchResult]:
     results = {}
     for dist, tag in (("uniform", "rw-u"), ("zipfian", "rw-z")):
         for crypto_on in (True, False):
@@ -182,19 +343,22 @@ def fig5a_crypto_cost(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
                 f=1, batch_size=4 if crypto_on else 1,
                 crypto=CryptoConfig(enabled=crypto_on),
             )
-            system = BasilSystem(config)
-            wl = YCSBWorkload(
-                num_keys=scale.ycsb_keys, reads=2, writes=2, distribution=dist
+            wdesc = WorkloadDesc(
+                "ycsb-u", scale.ycsb_keys, (("distribution", dist),)
             )
             name = f"basil-{tag}-{'sig' if crypto_on else 'nosig'}"
-            results[name] = _run(system, wl, scale.clients, scale, name)
+            results[name] = _run_basil(
+                config, wdesc, scale.clients, scale, name, workers=workers
+            )
     return results
 
 
 # ---------------------------------------------------------------------------
 # Figure 5b: read quorum size (read-only workload, 24 reads/txn)
 # ---------------------------------------------------------------------------
-def fig5b_read_quorum(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
+def fig5b_read_quorum(
+    scale: Scale = DEFAULT_SCALE, workers: int = 1
+) -> dict[str, BenchResult]:
     results = {}
     f = 1
     # Read-only transactions are cheap per-replica; it takes ~3x the usual
@@ -204,23 +368,26 @@ def fig5b_read_quorum(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
         ("q=1", 1, 1), ("q=f+1", f + 1, 2 * f + 1), ("q=2f+1", 2 * f + 1, 3 * f + 1)
     ):
         config = SystemConfig(f=f, batch_size=16, read_quorum=quorum, read_fanout=fanout)
-        system = BasilSystem(config)
-        wl = read_only_workload(num_keys=scale.ycsb_keys, reads=24)
-        results[label] = _run(system, wl, clients, scale, f"readonly-{label}")
+        wdesc = WorkloadDesc("ycsb-ro", scale.ycsb_keys)
+        results[label] = _run_basil(
+            config, wdesc, clients, scale, f"readonly-{label}", workers=workers
+        )
     return results
 
 
 # ---------------------------------------------------------------------------
 # Figure 5c: shard scaling (1 -> 3 shards), with and without crypto
 # ---------------------------------------------------------------------------
-def fig5c_shard_scaling(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
+def fig5c_shard_scaling(
+    scale: Scale = DEFAULT_SCALE, workers: int = 1
+) -> dict[str, BenchResult]:
     # The no-crypto runs push very high simulated throughput (millions of
     # events); a shorter window keeps wall-clock sane without changing
     # the 1-shard -> 3-shard ratios the figure reports.
-    scale = Scale(
-        duration=min(scale.duration, 0.15), warmup=min(scale.warmup, 0.05),
-        clients=scale.clients, baseline_clients=scale.baseline_clients,
-        ycsb_keys=scale.ycsb_keys,
+    scale = dataclasses.replace(
+        scale,
+        duration=min(scale.duration, 0.15),
+        warmup=min(scale.warmup, 0.05),
     )
     results = {}
     for crypto_on in (True, False):
@@ -229,26 +396,34 @@ def fig5c_shard_scaling(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
                 f=1, num_shards=shards, batch_size=4,
                 crypto=CryptoConfig(enabled=crypto_on),
             )
-            system = BasilSystem(config)
-            wl = YCSBWorkload(num_keys=scale.ycsb_keys, reads=3, writes=3)
+            wdesc = WorkloadDesc(
+                "ycsb-u", scale.ycsb_keys, (("reads", 3), ("writes", 3))
+            )
             name = f"{'sig' if crypto_on else 'nosig'}-{shards}shard"
             clients = scale.clients if shards == 1 else scale.clients * 2
-            results[name] = _run(system, wl, clients, scale, name)
+            results[name] = _run_basil(
+                config, wdesc, clients, scale, name, workers=workers
+            )
     return results
 
 
 # ---------------------------------------------------------------------------
 # Figure 6a: fast path on/off
 # ---------------------------------------------------------------------------
-def fig6a_fast_path(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
+def fig6a_fast_path(
+    scale: Scale = DEFAULT_SCALE, workers: int = 1
+) -> dict[str, BenchResult]:
     results = {}
     for dist, tag in (("uniform", "rw-u"), ("zipfian", "rw-z")):
         for fast in (True, False):
             config = SystemConfig(f=1, batch_size=4, fast_path_enabled=fast)
-            system = BasilSystem(config)
-            wl = YCSBWorkload(num_keys=scale.ycsb_keys, reads=2, writes=2, distribution=dist)
+            wdesc = WorkloadDesc(
+                "ycsb-u", scale.ycsb_keys, (("distribution", dist),)
+            )
             name = f"{tag}-{'fp' if fast else 'nofp'}"
-            results[name] = _run(system, wl, scale.clients, scale, name)
+            results[name] = _run_basil(
+                config, wdesc, scale.clients, scale, name, workers=workers
+            )
     return results
 
 
@@ -256,16 +431,20 @@ def fig6a_fast_path(scale: Scale = DEFAULT_SCALE) -> dict[str, BenchResult]:
 # Figure 6b: reply-batching sweep
 # ---------------------------------------------------------------------------
 def fig6b_batching(
-    scale: Scale = DEFAULT_SCALE, sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+    scale: Scale = DEFAULT_SCALE, sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    workers: int = 1,
 ) -> dict[str, BenchResult]:
     results = {}
     for dist, tag in (("uniform", "rw-u"), ("zipfian", "rw-z")):
         for b in sizes:
             config = SystemConfig(f=1, batch_size=b)
-            system = BasilSystem(config)
-            wl = YCSBWorkload(num_keys=scale.ycsb_keys, reads=2, writes=2, distribution=dist)
+            wdesc = WorkloadDesc(
+                "ycsb-u", scale.ycsb_keys, (("distribution", dist),)
+            )
             name = f"{tag}-b{b}"
-            results[name] = _run(system, wl, scale.clients, scale, name)
+            results[name] = _run_basil(
+                config, wdesc, scale.clients, scale, name, workers=workers
+            )
     return results
 
 
@@ -275,18 +454,58 @@ def fig6b_batching(
 FAILURE_BEHAVIOURS = ("stall-early", "stall-late", "equiv-real", "equiv-forced")
 
 
+def fig7_crash_schedule(
+    config: SystemConfig,
+    scale: Scale = DEFAULT_SCALE,
+    num_crashes: int = 1,
+    seed: int | None = None,
+):
+    """A Fig 7 replica crash/restart schedule with plan-derived targets.
+
+    Victims are drawn from the :func:`repro.parallel.partition.basil_plan`
+    roster — the authoritative node-name list for the deployment — never
+    from a live system's dict order, so the same seed crashes the same
+    *logical* replica at any worker count (worker packing can't reshuffle
+    the roster; digest-checked w1 vs w2 in the regression tests).
+    Crashes land at 30% of the measured window and restart at 70%.
+    """
+    import random as _random
+
+    from repro.faults.spec import CrashFault, FaultSchedule
+    from repro.parallel.partition import basil_plan
+
+    plan = basil_plan(config, scale.clients)
+    replicas = sorted(n for n in plan.roster() if not n.startswith("client/"))
+    rng = _random.Random(f"{seed if seed is not None else config.seed}/fig7-crashes")
+    victims = rng.sample(replicas, min(num_crashes, len(replicas)))
+    crash_at = scale.warmup + 0.3 * scale.duration
+    restart_at = scale.warmup + 0.7 * scale.duration
+    return FaultSchedule(
+        name=f"fig7-crash-{num_crashes}",
+        faults=tuple(
+            CrashFault(node=name, at=crash_at, restart_at=restart_at)
+            for name in victims
+        ),
+    )
+
+
 def fig7_failures(
     distribution: str,
     behaviours: tuple[str, ...] = FAILURE_BEHAVIOURS,
     byz_client_fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3),
     scale: Scale = DEFAULT_SCALE,
+    workers: int = 1,
+    fault_schedule=None,
 ) -> dict[str, dict[float, BenchResult]]:
     """Correct-client throughput vs fraction of Byzantine clients.
 
     Byzantine clients misbehave on every admitted transaction; the
     fraction of faulty *clients* sweeps the x-axis (the paper sweeps the
     faulty-transaction percentage; with faulty_fraction=1 these
-    coincide at the client granularity).
+    coincide at the client granularity).  ``fault_schedule`` overlays
+    replica faults (see :func:`fig7_crash_schedule`) on every point; its
+    injector stats end up in each row's ``extra["fault_stats"]``,
+    aggregated across partitions when ``workers > 1``.
     """
     results: dict[str, dict[float, BenchResult]] = {}
     for behaviour in behaviours:
@@ -296,32 +515,19 @@ def fig7_failures(
                 f=1, batch_size=4,
                 allow_unjustified_st2=(behaviour == "equiv-forced"),
             )
-            system = BasilSystem(config)
-            wl = YCSBWorkload(
-                num_keys=scale.ycsb_keys, reads=2, writes=2, distribution=distribution
+            wdesc = WorkloadDesc(
+                "ycsb-u", scale.ycsb_keys, (("distribution", distribution),)
             )
             num_byz = round(scale.clients * fraction)
-            factories = []
-            for i in range(scale.clients):
-                if i < num_byz:
-                    factories.append(
-                        lambda s=system, b=behaviour: s.create_client(
-                            client_class=ByzantineClient, behaviour=b,
-                            faulty_fraction=1.0,
-                        )
-                    )
-                else:
-                    factories.append(lambda s=system: s.create_client())
             name = f"{behaviour}@{int(fraction * 100)}%"
-            result = _run(
-                system, wl, scale.clients, scale, name, client_factories=factories
+            result = _run_basil(
+                config, wdesc, scale.clients, scale, name, workers=workers,
+                fault_schedule=fault_schedule,
+                byz_behaviour=behaviour if num_byz else None,
+                byz_count=num_byz,
             )
-            attempts = sum(
-                getattr(c, "equiv_attempts", 0) for c in system.clients
-            )
-            successes = sum(
-                getattr(c, "equiv_successes", 0) for c in system.clients
-            )
+            attempts = result.extra.get("equiv_attempts", 0)
+            successes = result.extra.get("equiv_successes", 0)
             if attempts:
                 # the paper: equivocation succeeds ~0.048% of the time at
                 # 40% faulty transactions on RW-Z

@@ -143,6 +143,10 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--seed", type=int, default=2024)
     run_p.add_argument("--obs", default=None, metavar="OUT.json",
                        help="record per-partition telemetry, write merged report")
+    run_p.add_argument("--faults", default=None, metavar="SCHEDULE.json",
+                       help="apply a repro.faults FaultSchedule (each "
+                       "partition applies its local share; stats are "
+                       "summed across partitions)")
     run_p.add_argument("--timers", type=int, default=2000,
                        help="microbench: timers per partition")
 
@@ -176,6 +180,12 @@ def main(argv: list[str] | None = None) -> int:
     # run
     from repro.config import SystemConfig
 
+    schedule = None
+    if args.faults:
+        from repro.faults.spec import FaultSchedule
+
+        with open(args.faults) as fh:
+            schedule = FaultSchedule.from_json(fh.read())
     if args.kind == "microbench":
         spec = ModelSpec(kind="microbench", timers=args.timers,
                          duration=args.duration, gc_freeze=False)
@@ -189,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
             duration=args.duration,
             warmup=args.warmup,
             obs=bool(args.obs),
+            fault_schedule=schedule,
         )
     result = ParallelRunner(spec, workers=args.workers).run()
     print(
@@ -204,6 +215,9 @@ def main(argv: list[str] | None = None) -> int:
             f"  cross-partition messages {result.cross_messages:,} "
             f"(undeliverable after end: {result.undeliverable})"
         )
+    if result.fault_stats is not None:
+        applied = {k: v for k, v in result.fault_stats.items() if v}
+        print(f"  fault stats (all partitions): {applied or 'none applied'}")
     if result.bench:
         bench = result.bench
         print(

@@ -108,6 +108,15 @@ class PartitionResult:
     messages_dropped: int = 0
     bench: dict[str, Any] | None = None  #: client partition only
     report: dict[str, Any] | None = None  #: obs RunReport dict, if recorded
+    #: This partition's FaultInjector.stats counters (None: no injector).
+    #: Each partition counts the fault actions *it* performed — link and
+    #: partition faults on the sending side, crashes on the hosting side
+    #: — so the campaign-level stats are the element-wise sum.
+    fault_stats: dict[str, int] | None = None
+    #: Per-replica MVTSO abort-reason tallies summed over this
+    #: partition's replicas (replica partitions only; merged into the
+    #: bench row so partitioned runs keep the sequential row schema).
+    abort_reasons: dict[str, int] | None = None
     extra: dict[str, Any] | None = None
 
 

@@ -43,15 +43,38 @@ class ModelSpec:
     config: Any = None
     workload: str = "ycsb-t"
     workload_keys: int = 500
+    #: Extra workload-constructor kwargs as (name, value) pairs (tuple of
+    #: pairs keeps the spec hashable/picklable) — the figure experiments
+    #: use this for read/write mixes, distributions, hot-account counts.
+    workload_kwargs: tuple[tuple[str, Any], ...] = ()
     num_clients: int = 6
     duration: float = 0.05
     warmup: float = 0.02
+    #: Run/bench name carried into the bench row and report (defaults to
+    #: the workload's own name when empty).
+    label: str = ""
     #: Attach a tracer per partition and compute trace digests.
     trace: bool = True
     #: Attach an ObsRecorder per partition and merge the RunReports.
     obs: bool = False
     #: Freeze the cyclic GC after build (both modes; see docs/parallel.md).
     gc_freeze: bool = False
+    #: Fault schedule (:class:`repro.faults.spec.FaultSchedule`) applied
+    #: by every partition: each builds its own injector from the same
+    #: serialized schedule and applies the local share (crashes on the
+    #: hosting partition, link/partition faults on the sending side).
+    fault_schedule: Any = None
+    #: Byzantine client mix (Fig 7): the first ``byz_client_count`` of
+    #: ``num_clients`` use this behaviour, matching the sequential figure
+    #: path's factory order exactly.
+    byz_client_behaviour: str | None = None
+    byz_client_count: int = 0
+    byz_faulty_fraction: float = 1.0
+    #: Output directories threaded through the spec (NOT module globals,
+    #: which forked workers cannot be handed): when set, each partition
+    #: writes ``{label}-p{pid}.trace.json`` / ``.obs.json`` there.
+    trace_dir: str | None = None
+    obs_dir: str | None = None
     # -- microbench knobs ------------------------------------------------
     partitions: int = 8
     timers: int = 2_000  #: self-rescheduling timers per partition
@@ -72,12 +95,49 @@ class ModelSpec:
     def make_workload(self) -> Any:
         from repro.workloads import make_workload
 
-        return make_workload(self.workload, keys=self.workload_keys)
+        return make_workload(
+            self.workload, keys=self.workload_keys, **dict(self.workload_kwargs)
+        )
+
+    def make_injector(self) -> Any:
+        """A fresh FaultInjector for one partition (None: no schedule)."""
+        if self.fault_schedule is None:
+            return None
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector(self.fault_schedule)
+
+    def client_factories(self, system: Any) -> Any:
+        """The Fig 7 client mix against ``system`` (None: all correct)."""
+        if not self.byz_client_count:
+            return None
+        from repro.byzantine.clients import ByzantineClient
+
+        behaviour = self.byz_client_behaviour
+        fraction = self.byz_faulty_fraction
+        factories = []
+        for i in range(self.num_clients):
+            if i < self.byz_client_count:
+                factories.append(
+                    lambda s=system, b=behaviour, f=fraction: s.create_client(
+                        client_class=ByzantineClient, behaviour=b, faulty_fraction=f
+                    )
+                )
+            else:
+                factories.append(lambda s=system: s.create_client())
+        return factories
 
     def end_time(self) -> float:
         if self.kind == "microbench":
             return self.duration
         return self.warmup + self.duration + self.warmup  # + cool-down
+
+    def artifact_stem(self, partition_id: int | None = None) -> str:
+        """Filename stem for per-run artifacts (trace/obs exports)."""
+        stem = (self.label or self.kind).replace("/", "-")
+        if partition_id is not None:
+            stem += f"-p{partition_id}"
+        return stem
 
 
 def make_plan(spec: ModelSpec) -> PartitionPlan:
@@ -88,6 +148,46 @@ def make_plan(spec: ModelSpec) -> PartitionPlan:
     raise SimulationError(
         f"model kind {spec.kind!r} is sequential-only (use workers=1)"
     )
+
+
+def _replica_abort_reasons(system: Any) -> dict[str, int] | None:
+    """Per-reason MVTSO abort tallies over ``system``'s local replicas.
+
+    Mirrors ``ExperimentRunner._abort_reasons`` but runs on partitions
+    that have no runner (the replica slices); None when nothing aborted
+    (or the partition hosts no replicas at all).
+    """
+    totals: dict[str, int] = {}
+    for replica in getattr(system, "replicas", {}).values():
+        for reason, count in getattr(replica, "abort_reasons", {}).items():
+            totals[reason] = totals.get(reason, 0) + count
+    return dict(sorted(totals.items())) if totals else None
+
+
+def _write_trace_artifact(spec: ModelSpec, tracer: Any, pid: int | None) -> None:
+    """Write one partition's Chrome trace into ``spec.trace_dir`` (if set)."""
+    if not spec.trace_dir:
+        return
+    import os
+
+    from repro.trace.export import write_chrome_trace
+
+    os.makedirs(spec.trace_dir, exist_ok=True)
+    path = os.path.join(spec.trace_dir, spec.artifact_stem(pid) + ".trace.json")
+    write_chrome_trace(tracer, path)
+
+
+def _write_obs_artifact(spec: ModelSpec, report: Any, pid: int | None) -> None:
+    """Write one partition's RunReport into ``spec.obs_dir`` (if set)."""
+    if not spec.obs_dir:
+        return
+    import os
+
+    from repro.obs import write_report
+
+    os.makedirs(spec.obs_dir, exist_ok=True)
+    path = os.path.join(spec.obs_dir, spec.artifact_stem(pid) + ".obs.json")
+    write_report(path, report)
 
 
 # ---------------------------------------------------------------------------
@@ -137,6 +237,7 @@ class BasilPartitionHost(PartitionHost):
             self.tracer = self.sim.attach_tracer(Tracer())
         self.recorder = None
         self.runner = None
+        self.injector = None
         self._outbox: list[Envelope] = []
         self._seq = 0
         self._cross_received = 0
@@ -161,6 +262,7 @@ class BasilPartitionHost(PartitionHost):
     def start(self) -> None:
         spec = self.spec
         workload = spec.make_workload()
+        self.injector = spec.make_injector()
         if spec.obs:
             from repro.obs.recorder import ObsRecorder
 
@@ -174,10 +276,18 @@ class BasilPartitionHost(PartitionHost):
                 num_clients=spec.num_clients,
                 duration=spec.duration,
                 warmup=spec.warmup,
+                name=spec.label,
+                client_factories=spec.client_factories(self.system),
+                injector=self.injector,
                 recorder=self.recorder,
             )
             self.runner.setup(load_data=False)
         else:
+            # Same relative order as ExperimentRunner.setup: injector
+            # before genesis load, recorder after (crash/byz faults must
+            # be armed before any traffic this partition originates).
+            if self.injector is not None:
+                self.injector.attach(self.system)
             self.system.load(workload.iter_data())
             if self.recorder is not None:
                 self.recorder.attach(self.system, until=spec.end_time())
@@ -198,21 +308,34 @@ class BasilPartitionHost(PartitionHost):
         return out
 
     def finalize(self) -> PartitionResult:
+        spec = self.spec
         bench = None
         if self.runner is not None:
             from repro.obs.report import _jsonable
 
-            bench = _jsonable(self.runner.finalize())
+            result = self.runner.finalize()
+            if spec.byz_client_count:
+                clients = getattr(self.system, "clients", [])
+                result.extra["equiv_attempts"] = sum(
+                    getattr(c, "equiv_attempts", 0) for c in clients
+                )
+                result.extra["equiv_successes"] = sum(
+                    getattr(c, "equiv_successes", 0) for c in clients
+                )
+            bench = _jsonable(result)
         report = None
         if self.recorder is not None:
-            report = self.recorder.finish(
+            report_obj = self.recorder.finish(
                 f"parallel/p{self.partition_id}", config=self.system.config
-            ).to_dict()
+            )
+            report = report_obj.to_dict()
+            _write_obs_artifact(spec, report_obj, self.partition_id)
         digest = ""
         if self.tracer is not None:
             from repro.trace.export import trace_digest
 
             digest = trace_digest(self.tracer)
+            _write_trace_artifact(spec, self.tracer, self.partition_id)
         network = self.system.network
         return PartitionResult(
             partition_id=self.partition_id,
@@ -226,6 +349,8 @@ class BasilPartitionHost(PartitionHost):
             messages_dropped=network.messages_dropped,
             bench=bench,
             report=report,
+            fault_stats=dict(self.injector.stats) if self.injector else None,
+            abort_reasons=_replica_abort_reasons(self.system),
         )
 
 
@@ -377,6 +502,7 @@ class SequentialRun:
         self.tracer = None
         self.recorder = None
         self.runner = None
+        self.injector = None
         self._micro_states: list[_MicrobenchState] = []
         if spec.kind == "microbench":
             self.sim = Simulator(seed=spec.system_config().seed)
@@ -401,12 +527,16 @@ class SequentialRun:
             return
         from repro.bench.runner import ExperimentRunner
 
+        self.injector = spec.make_injector()
         self.runner = ExperimentRunner(
             self.system,
             spec.make_workload(),
             num_clients=spec.num_clients,
             duration=spec.duration,
             warmup=spec.warmup,
+            name=spec.label,
+            client_factories=spec.client_factories(self.system),
+            injector=self.injector,
             recorder=self.recorder,
         )
         self.runner.setup()
@@ -453,18 +583,30 @@ class SequentialRun:
         if self.runner is not None:
             from repro.obs.report import _jsonable
 
-            bench = _jsonable(self.runner.finalize())
+            result = self.runner.finalize()
+            if spec.byz_client_count:
+                clients = getattr(self.system, "clients", [])
+                result.extra["equiv_attempts"] = sum(
+                    getattr(c, "equiv_attempts", 0) for c in clients
+                )
+                result.extra["equiv_successes"] = sum(
+                    getattr(c, "equiv_successes", 0) for c in clients
+                )
+            bench = _jsonable(result)
         report = None
         if self.recorder is not None:
-            report = self.recorder.finish(
+            report_obj = self.recorder.finish(
                 f"sequential/{spec.kind}", config=getattr(self.system, "config", None)
-            ).to_dict()
+            )
+            report = report_obj.to_dict()
+            _write_obs_artifact(spec, report_obj, None)
         if spec.kind == "microbench":
             digest = _combine_micro(self._micro_states)
         elif self.tracer is not None:
             from repro.trace.export import trace_digest
 
             digest = trace_digest(self.tracer)
+            _write_trace_artifact(spec, self.tracer, None)
         else:
             digest = ""
         network = getattr(self.system, "network", None)
@@ -480,6 +622,8 @@ class SequentialRun:
             messages_dropped=getattr(network, "messages_dropped", 0),
             bench=bench,
             report=report,
+            fault_stats=dict(self.injector.stats) if self.injector else None,
+            abort_reasons=_replica_abort_reasons(self.system) if self.system else None,
         )
 
 

@@ -48,6 +48,9 @@ class ParallelResult:
     sim_seconds: float
     bench: dict[str, Any] | None = None
     report: dict[str, Any] | None = None  #: merged obs RunReport dict
+    #: FaultInjector counters summed element-wise across partitions
+    #: (None when the run carried no fault schedule).
+    fault_stats: dict[str, int] | None = None
     cross_messages: int = 0
     undeliverable: int = 0  #: envelopes due after the end of the run
     per_partition: dict[int, dict[str, Any]] = field(default_factory=dict)
@@ -106,6 +109,7 @@ class ParallelRunner:
             sim_seconds=result.now,
             bench=result.bench,
             report=result.report,
+            fault_stats=result.fault_stats,
             per_partition={-1: _summary(result)},
         )
 
@@ -206,20 +210,28 @@ class ParallelRunner:
             {pid: r.rng_streams for pid, r in results.items()},
         )
         digest = combine_digests({pid: r.digest for pid, r in results.items()})
+        fault_stats = _sum_counters(
+            r.fault_stats for r in results.values() if r.fault_stats is not None
+        )
         bench = next(
             (r.bench for _, r in sorted(results.items()) if r.bench is not None), None
         )
+        if bench is not None:
+            bench = _fold_into_bench(bench, results, fault_stats)
         report = None
         partials = {
             pid: r.report for pid, r in results.items() if r.report is not None
         }
         if partials:
+            meta: dict[str, Any] = {"workers": num_workers, "windows": windows}
+            if fault_stats is not None:
+                meta["fault_stats"] = fault_stats
             report = merge_partition_reports(
                 partials,
-                name=f"parallel/{spec.kind}",
+                name=spec.label or f"parallel/{spec.kind}",
                 bench=bench,
                 trace_digest=digest,
-                meta={"workers": num_workers, "windows": windows},
+                meta=meta,
             )
         return ParallelResult(
             digest=digest,
@@ -232,10 +244,55 @@ class ParallelRunner:
             sim_seconds=max(r.now for r in results.values()),
             bench=bench,
             report=report,
+            fault_stats=fault_stats,
             cross_messages=cross_messages,
             undeliverable=undeliverable,
             per_partition={pid: _summary(r) for pid, r in results.items()},
         )
+
+
+def _sum_counters(dicts) -> dict[str, int] | None:
+    """Element-wise sum of counter dicts; None when the iterable is empty."""
+    total: dict[str, int] | None = None
+    for counters in dicts:
+        if total is None:
+            total = dict.fromkeys(counters, 0)
+        for key, value in counters.items():
+            total[key] = total.get(key, 0) + value
+    return total
+
+
+def _fold_into_bench(
+    bench: dict[str, Any],
+    results: dict[int, PartitionResult],
+    fault_stats: dict[str, int] | None,
+) -> dict[str, Any]:
+    """Fold replica-partition state into the client partition's bench row.
+
+    The sequential runner computes ``dropped`` and ``abort_reasons`` by
+    looking at the whole system; in a partitioned run the client slice
+    sees only its own network and no replicas, so the merge restores the
+    sequential row schema: drops summed over every partition's network,
+    abort reasons summed over the replica partitions, and (when a fault
+    schedule ran) the aggregated injector counters.
+    """
+    from repro.bench.runner import ExperimentRunner
+
+    bench = dict(bench)
+    extra = dict(bench.get("extra") or {})
+    bench["dropped"] = sum(r.messages_dropped for r in results.values())
+    reasons = _sum_counters(
+        r.abort_reasons for r in results.values() if r.abort_reasons is not None
+    )
+    if reasons:
+        for reason, count in (extra.get("abort_reasons") or {}).items():
+            reasons[reason] = reasons.get(reason, 0) + count
+        extra["abort_reasons"] = dict(sorted(reasons.items()))
+        extra["abort_taxonomy"] = ExperimentRunner._taxonomy_rollup(reasons)
+    if fault_stats is not None:
+        extra["fault_stats"] = dict(fault_stats)
+    bench["extra"] = extra
+    return bench
 
 
 def _summary(result: PartitionResult) -> dict[str, Any]:

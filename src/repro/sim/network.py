@@ -259,8 +259,24 @@ class Network:
 
         Used by fault injection (message duplication): the copy is
         delivered as-is after ``delay``, subject only to the destination
-        still being registered at delivery time.
+        still being registered at delivery time.  In a space-parallel run
+        a copy addressed to a remote node leaves as an exchange envelope
+        (it must: a local ``call_later`` would silently drop it in
+        ``_deliver``), and the lookahead bound applies to it like any
+        other cross-partition delivery.
         """
+        if dst in self._remote:
+            if self._remote_send is None:
+                raise SimulationError(
+                    f"{dst!r} is remote but no partition exchange is bound"
+                )
+            if delay < self._lookahead:
+                raise SimulationError(
+                    f"cross-partition inject delay {delay} violates lookahead "
+                    f"{self._lookahead} ({src} -> {dst})"
+                )
+            self._remote_send(src, dst, message, delay)
+            return
         self.sim.call_later(delay, self._deliver, src, dst, message)
 
     def _deliver(self, src: str, dst: str, message: Any) -> None:

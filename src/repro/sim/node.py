@@ -152,7 +152,10 @@ class Node:
         self.crashed = False
         #: Live tasks owned by this node; cancelled wholesale on crash so
         #: no stale callback of a dead node fires into the event loop.
-        self._tasks: set[Task] = set()
+        #: A dict (insertion-ordered) rather than a set: Task hashes by
+        #: identity, so a set would iterate in memory-address order and
+        #: crash-time cancellation would not be reproducible across runs.
+        self._tasks: dict[Task, None] = {}
         self._handler_name = f"{name}/handle"  # built once, not per message
 
     # -- local clock ----------------------------------------------------
@@ -187,9 +190,12 @@ class Node:
         """Start a background task owned by this node."""
         task = self.sim.create_task(coro, name=name or self.name)
         if not task.done():
-            self._tasks.add(task)
-            task.add_done_callback(self._tasks.discard)
+            self._tasks[task] = None
+            task.add_done_callback(self._forget_task)
         return task
+
+    def _forget_task(self, task: Task) -> None:
+        self._tasks.pop(task, None)
 
     # -- crash / restart -------------------------------------------------
     def crash(self) -> None:
@@ -204,7 +210,7 @@ class Node:
         if self.crashed:
             return
         self.crashed = True
-        tasks, self._tasks = list(self._tasks), set()
+        tasks, self._tasks = list(self._tasks), {}
         for task in tasks:
             task.cancel()
         self.on_crash()

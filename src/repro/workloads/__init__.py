@@ -26,31 +26,40 @@ from repro.workloads.zipf import ZipfGenerator
 #: that workload's natural population knob.
 WORKLOADS = {
     # YCSB-T as benchmarked in Fig 4a: uniform 2r/2w ("-t"), plus the
-    # explicit uniform/Zipfian variants.
-    "ycsb-t": lambda keys: YCSBWorkload(num_keys=keys, reads=2, writes=2),
-    "ycsb-u": lambda keys: YCSBWorkload(num_keys=keys, reads=2, writes=2),
-    "ycsb-z": lambda keys: YCSBWorkload(
-        num_keys=keys, reads=2, writes=2, distribution="zipfian"
+    # explicit uniform/Zipfian variants.  Extra kwargs pass straight to
+    # the workload constructor (read/write mix, distribution, skew...)
+    # so a ModelSpec can describe any figure's workload as plain data.
+    "ycsb-t": lambda keys, **kw: YCSBWorkload(
+        num_keys=keys, **{"reads": 2, "writes": 2, **kw}
     ),
-    "retwis": lambda keys: RetwisWorkload(num_users=keys),
-    "smallbank": lambda keys: SmallbankWorkload(
-        num_accounts=keys, hot_accounts=max(1, keys // 20)
+    "ycsb-u": lambda keys, **kw: YCSBWorkload(
+        num_keys=keys, **{"reads": 2, "writes": 2, **kw}
+    ),
+    "ycsb-z": lambda keys, **kw: YCSBWorkload(
+        num_keys=keys, **{"reads": 2, "writes": 2, "distribution": "zipfian", **kw}
+    ),
+    "ycsb-ro": lambda keys, **kw: YCSBWorkload(
+        num_keys=keys, **{"reads": 24, "writes": 0, "distribution": "uniform", **kw}
+    ),
+    "retwis": lambda keys, **kw: RetwisWorkload(num_users=keys, **kw),
+    "smallbank": lambda keys, **kw: SmallbankWorkload(
+        num_accounts=keys, **{"hot_accounts": max(1, keys // 20), **kw}
     ),
 }
 
 
-def make_workload(name: str, keys: int = 10_000) -> Workload:
+def make_workload(name: str, keys: int = 10_000, **kwargs) -> Workload:
     """Build a registered workload scaled to ``keys`` population."""
     if name == "tpcc":  # imported lazily: the loader pulls in the schema
         from repro.workloads.tpcc import TPCCWorkload
 
-        return TPCCWorkload(num_warehouses=max(1, keys // 100))
+        return TPCCWorkload(**{"num_warehouses": max(1, keys // 100), **kwargs})
     try:
         factory = WORKLOADS[name]
     except KeyError:
         known = ", ".join(sorted([*WORKLOADS, "tpcc"]))
         raise ValueError(f"unknown workload {name!r} (have: {known})") from None
-    return factory(keys)
+    return factory(keys, **kwargs)
 
 
 __all__ = [
