@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check parallel-smoke parallel-ladder examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check parallel-smoke parallel-ladder geo-smoke geo-sweep examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,7 +26,7 @@ fault-sweep:
 	python -m repro.faults sweep --seeds 25
 
 perf-smoke:
-	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py benchmarks/perf_figures.py -m perf_smoke -q -s
+	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py benchmarks/perf_figures.py benchmarks/perf_geo.py -m perf_smoke -q -s
 
 perf-record:
 	python -m repro.perf record --out BENCH_PR6.json
@@ -41,6 +41,15 @@ parallel-smoke:
 parallel-ladder:
 	python -m repro.parallel ladder --out BENCH_PR6.json
 	python -m repro.parallel ladder --out BENCH_PR6.json --quick
+
+geo-smoke:
+	pytest tests/geo -m geo_smoke -q
+	python examples/edge_sessions.py
+	python -m repro.geo sweep --topologies wan3 --workers 2 \
+		--duration 0.5 --warmup 0.15 --keys 16
+
+geo-sweep:
+	python -m repro.geo sweep --topologies wan3 wan5 --workers 3 --obs runs/geo
 
 load-smoke:
 	pytest tests -m load_smoke -q

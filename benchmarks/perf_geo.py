@@ -1,0 +1,79 @@
+"""Perf gate for the geo serving tier (PR 9): one quick wan3 edge point.
+
+Run via ``make perf-smoke``: executes a short 3-region wan3 edge run
+under the parallel runtime at workers=2 and asserts
+
+* the run still shows the experiment's headline separation (edge read
+  p50 under one cross-region RTT — the lease cache is actually being
+  hit, not silently falling through to WAN quorum reads), and
+* the point's wall clock did not regress >15% vs the recorded
+  ``BENCH_*.json`` baseline (row ``geo-wan3-edge-quick``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geo.plan import GeoSpec
+from repro.geo.topology import wan3
+from repro.parallel import ParallelRunner
+from repro.parallel.models import ModelSpec
+from repro.perf.compare import compare_to_baseline, find_baseline
+from repro.perf.harness import BenchEntry
+
+pytestmark = pytest.mark.perf_smoke
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BENCH_NAME = "geo-wan3-edge-quick"
+
+
+@pytest.fixture(scope="module")
+def geo_point():
+    spec = ModelSpec(
+        kind="basil",
+        config=SystemConfig(num_shards=1, seed=2024),
+        geo=GeoSpec(topology=wan3(), mode="edge", users_per_region=4, keys=16),
+        duration=0.5,
+        warmup=0.15,
+        label=BENCH_NAME,
+    )
+    return ParallelRunner(spec, workers=2).run()
+
+
+def test_geo_point_completes(geo_point):
+    g = geo_point.bench["extra"]["geo"]
+    assert geo_point.partitions == 3
+    assert g["ops"] > 0
+    assert g["failures"] == 0
+    assert geo_point.bench["commits"] > 0
+
+
+def test_edge_separation_holds(geo_point):
+    g = geo_point.bench["extra"]["geo"]
+    assert g["read_p50"] < g["cross_region_rtt"], (
+        f"edge read p50 {g['read_p50']:.4f}s no longer beats one "
+        f"cross-region RTT {g['cross_region_rtt']:.4f}s"
+    )
+
+
+def test_no_wall_clock_regression(geo_point):
+    baseline = find_baseline(REPO_ROOT)
+    if baseline is None:
+        pytest.skip("no BENCH_*.json baseline recorded yet")
+    entries = [
+        BenchEntry(
+            bench=BENCH_NAME,
+            wall_s=geo_point.wall_s,
+            events_per_s=geo_point.events_per_s,
+            sim_tput=0.0,
+        )
+    ]
+    regressions, report = compare_to_baseline(entries, baseline)
+    print("\n".join(report))
+    assert not regressions, "wall-clock regression(s):\n" + "\n".join(
+        str(reg) for reg in regressions
+    )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Serve a WAN deployment from the edge, and see what users actually feel.
+
+Basil's quorums are latency machines: spread a shard's 5f+1 replicas
+over three continents and every quorum read pays at least one
+cross-region round trip (~80 ms on the wan3 matrix), no matter how fast
+consensus is.  This example runs the same wan3 deployment twice:
+
+* **direct** — every user is a Basil client; reads fan out 2f+1 across
+  regions and p50 settles at one WAN round trip;
+* **edge** — users talk to their region's EdgeProxy, which serves reads
+  from a TTL lease cache (bounded staleness) and batches writes back
+  into the core, so read p50 collapses to the intra-region link while
+  writes still wait for real WAN consensus before acking.
+
+Everything is seed-deterministic — rerunning prints the same numbers.
+
+Run:  python examples/edge_sessions.py
+"""
+
+from repro.config import SystemConfig
+from repro.geo.plan import GeoSpec
+from repro.geo.runner import GeoRunner, build_geo_system
+from repro.geo.topology import wan3
+
+
+def run(mode: str):
+    config = SystemConfig(f=1, num_shards=1, seed=7)
+    geo = GeoSpec(
+        topology=wan3(), mode=mode, users_per_region=4, keys=16, lease_ttl=2.0
+    )
+    system = build_geo_system(config, geo)
+    return GeoRunner(system, geo, duration=0.8, warmup=0.2).run()
+
+
+def main() -> None:
+    topo = wan3()
+    fastest = topo.min_cross_region()
+    rtt = 2.0 * fastest.base
+    print(f"topology wan3: {', '.join(topo.regions)}")
+    print(f"fastest cross-region pair {fastest.a} <-> {fastest.b}: "
+          f"one-way {fastest.base * 1e3:.0f} ms, RTT {rtt * 1e3:.0f} ms\n")
+
+    results = {mode: run(mode) for mode in ("direct", "edge")}
+    for mode, bench in results.items():
+        g = bench.extra["geo"]
+        print(f"{mode}: read p50 {g['read_p50'] * 1e3:8.2f} ms   "
+              f"write p50 {g['write_p50'] * 1e3:7.2f} ms   "
+              f"ops {g['ops']}   core commits {bench.commits}")
+        for region, row in g["regions"].items():
+            hit = row.get("lease_hit_rate")
+            hit_s = f"  lease hit rate {hit * 100:5.1f}%" if hit is not None else ""
+            print(f"    {region:<9} read p50 {row['read_p50'] * 1e3:8.2f} ms{hit_s}")
+
+    direct = results["direct"].extra["geo"]
+    edge = results["edge"].extra["geo"]
+    print(f"\nedge read p50 {edge['read_p50'] * 1e3:.2f} ms vs direct "
+          f"{direct['read_p50'] * 1e3:.2f} ms (one cross-region RTT = "
+          f"{rtt * 1e3:.0f} ms)")
+
+    assert direct["read_p50"] >= rtt * 0.99, \
+        "a cross-region quorum read cannot beat one WAN round trip"
+    assert edge["read_p50"] < 0.5 * rtt, \
+        "the lease cache must keep edge reads off the WAN"
+    assert results["edge"].commits > 0, \
+        "write-back batches must still commit through consensus"
+
+
+if __name__ == "__main__":
+    main()

@@ -96,8 +96,9 @@ class BasilClient(Node):
         config: SystemConfig,
         sharder: Sharder,
         registry: KeyRegistry,
+        name: str | None = None,
     ) -> None:
-        super().__init__(sim, f"client/{client_id}", config=config.client_node)
+        super().__init__(sim, name or f"client/{client_id}", config=config.client_node)
         self.client_id = client_id
         self.network = network
         self.config = config
@@ -654,7 +655,12 @@ class BasilClient(Node):
         metrics = self.sim.metrics
         fb_begin = self.sim.now
         if metrics.enabled:
-            metrics.counter("basil_fallback_invocations_total").add()
+            if self.region:
+                metrics.counter(
+                    "basil_fallback_invocations_total", region=self.region
+                ).add()
+            else:
+                metrics.counter("basil_fallback_invocations_total").add()
         task = self.sim.create_task(
             RecoveryCoordinator(self, tx).run(), name=f"{self.name}/finish"
         )

@@ -580,7 +580,12 @@ class BasilReplica(Node):
         state.view_adopted_at = self.sim.now
         metrics = self.sim.metrics
         if metrics.enabled:
-            metrics.counter("basil_view_changes_total", node=self.name).add()
+            if self.region:
+                metrics.counter(
+                    "basil_view_changes_total", node=self.name, region=self.region
+                ).add()
+            else:
+                metrics.counter("basil_view_changes_total", node=self.name).add()
 
     async def on_elect_fb(self, sender: str, msg: ElectFBMessage) -> None:
         payload: ElectFBPayload = attestation_payload(msg.attestation)

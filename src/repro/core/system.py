@@ -43,12 +43,15 @@ class BasilSystem:
         replica_class: Type[BasilReplica] = BasilReplica,
         adversary: NetworkAdversary | None = None,
         partition: Any = None,
+        latency: Any = None,
     ) -> None:
         self.config = config or SystemConfig()
         self.partition = partition
         pid = partition.partition_id if partition is not None else None
         self.sim = Simulator(seed=self.config.seed, partition_id=pid)
-        self.network = Network(self.sim, self.config.network, adversary=adversary)
+        self.network = Network(
+            self.sim, self.config.network, adversary=adversary, latency=latency
+        )
         self.registry = KeyRegistry(seed=self.config.seed)
         self.sharder = Sharder(self.config)
         self.replicas: dict[str, BasilReplica] = {}

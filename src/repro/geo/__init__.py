@@ -1,0 +1,45 @@
+"""Geo-distributed WAN topologies and the edge session tier.
+
+Everything the single-datacenter reproduction lacked to tell the
+"millions of interactive users" story:
+
+* :mod:`repro.geo.topology` — named multi-region deployments (3/5-region
+  US/EU/APAC presets plus arbitrary JSON latency matrices) with
+  per-region-pair base latency + jitter.
+* :mod:`repro.geo.latency` — node placement across regions and the
+  :class:`RegionLatencyModel` that replaces the uniform network link.
+* :mod:`repro.geo.plan` — :class:`GeoSpec` run descriptions and
+  region-per-partition plans whose lookahead is derived from the
+  minimum entry of the latency matrix.
+* :mod:`repro.geo.edge` — the :class:`EdgeProxy` session tier: sticky
+  per-region sessions, read-lease fast paths, write-back batching.
+* :mod:`repro.geo.faults` — region-correlated fault specs layered on
+  the :mod:`repro.faults` schedule format.
+* :mod:`repro.geo.runner` — build + drive a geo deployment, sequential
+  or under :class:`repro.parallel.ParallelRunner`.
+
+CLI: ``python -m repro.geo sweep`` compares edge-decoupled vs
+direct-to-core serving across topologies.
+"""
+
+from repro.geo.edge import EdgeProxy, EdgeUser
+from repro.geo.latency import GeoPlacement, RegionLatencyModel
+from repro.geo.plan import GeoSpec, derive_lookahead, geo_plan
+from repro.geo.runner import GeoRunner, build_geo_system
+from repro.geo.topology import GeoTopology, get_topology, wan3, wan5
+
+__all__ = [
+    "EdgeProxy",
+    "EdgeUser",
+    "GeoPlacement",
+    "GeoRunner",
+    "GeoSpec",
+    "GeoTopology",
+    "RegionLatencyModel",
+    "build_geo_system",
+    "derive_lookahead",
+    "geo_plan",
+    "get_topology",
+    "wan3",
+    "wan5",
+]

@@ -1,0 +1,92 @@
+"""Per-region observability for geo runs: health rules + edge probes.
+
+Geo runs reuse the standard telemetry pipeline (:mod:`repro.obs`) but
+evaluate the churn rules *per region*: every rule below is expanded via
+:func:`repro.obs.health.expand_rule_per_label` into one clone per
+region, restricted to series labeled ``{region: r}``, so a RunReport
+names the region that degraded (``geo-fallback-churn[eu-west]``) instead
+of hiding a regional brown-out inside a fleet-wide sum.  The region
+labels exist because geo deployments set ``Node.region`` on replicas,
+proxies and users, which switches the core's fallback/view-change metric
+sites onto their region-labeled variants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.obs.health import HealthRule, expand_rule_per_label
+
+
+def geo_base_rules() -> list[HealthRule]:
+    """The per-region rule templates (pre-expansion)."""
+    return [
+        HealthRule(
+            name="geo-fallback-churn",
+            metric="basil_fallback_invocations_total",
+            aggregate="rate",
+            threshold=200.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="fallback recovery invoked at storm rate in one region",
+        ),
+        HealthRule(
+            name="geo-view-churn",
+            metric="basil_view_changes_total",
+            aggregate="rate",
+            threshold=100.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="one region's replicas adopting fallback views at storm rate",
+        ),
+        HealthRule(
+            name="geo-writeback-churn",
+            metric="geo_writeback_aborts_total",
+            aggregate="rate",
+            threshold=200.0,
+            for_seconds=0.02,
+            severity="degraded",
+            description="one region's edge proxy retrying write-back batches at storm rate",
+        ),
+        HealthRule(
+            name="geo-read-stall",
+            metric="geo_read_failures_total",
+            aggregate="max",
+            threshold=0.0,
+            op=">",
+            severity="critical",
+            description="core quorum reads from one region failed outright",
+        ),
+    ]
+
+
+def geo_health_rules(regions: Sequence[str]) -> list[HealthRule]:
+    """Every geo rule template expanded to one clone per region."""
+    rules: list[HealthRule] = []
+    for rule in geo_base_rules():
+        rules.extend(expand_rule_per_label(rule, "region", regions))
+    return rules
+
+
+def edge_probe(proxies: dict[str, Any]):
+    """A ticker probe over the edge tier (pure observation).
+
+    Samples each proxy's lease-cache population and write-back queue
+    depth per tick, labeled by region.
+    """
+
+    def _sample():
+        out = []
+        for region in sorted(proxies):
+            proxy = proxies[region]
+            out.append(
+                ("geo_lease_entries", {"region": region},
+                 float(proxy.lease_entries()))
+            )
+            out.append(
+                ("geo_writeback_queue_depth", {"region": region},
+                 float(proxy.writeback_queue_depth()))
+            )
+        return out
+
+    return _sample

@@ -23,7 +23,7 @@ the system is degraded" —
 from __future__ import annotations
 
 import operator
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
 from repro.obs.ticker import TimeSeries
@@ -100,6 +100,24 @@ class HealthVerdict:
             breach_at=data.get("breach_at"),
             detail=data.get("detail", ""),
         )
+
+
+def expand_rule_per_label(
+    rule: HealthRule, label: str, values: Sequence[str]
+) -> list[HealthRule]:
+    """Clone ``rule`` once per ``label`` value, one verdict per clone.
+
+    Each clone restricts matching to series carrying ``{label: value}``
+    (on top of the rule's existing label restriction) and is renamed
+    ``{name}[{value}]``, so a report shows *which* region/shard/node
+    breached instead of one verdict over the summed fleet.
+    """
+    out = []
+    for value in values:
+        labels = dict(rule.labels or {})
+        labels[label] = value
+        out.append(replace(rule, name=f"{rule.name}[{value}]", labels=labels))
+    return out
 
 
 def _matching(rule: HealthRule, series: Sequence[TimeSeries]) -> list[TimeSeries]:

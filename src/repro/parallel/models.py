@@ -70,6 +70,11 @@ class ModelSpec:
     byz_client_behaviour: str | None = None
     byz_client_count: int = 0
     byz_faulty_fraction: float = 1.0
+    #: Geo deployment (:class:`repro.geo.plan.GeoSpec`): place the basil
+    #: system on a WAN topology and drive it with the geo serving tier
+    #: instead of the standard closed-loop clients.  Partitioned runs use
+    #: one partition per region (:func:`repro.geo.plan.geo_plan`).
+    geo: Any = None
     #: Output directories threaded through the spec (NOT module globals,
     #: which forked workers cannot be handed): when set, each partition
     #: writes ``{label}-p{pid}.trace.json`` / ``.obs.json`` there.
@@ -84,6 +89,17 @@ class ModelSpec:
     def __post_init__(self) -> None:
         if self.kind not in SEQUENTIAL_KINDS:
             raise SimulationError(f"unknown model kind {self.kind!r}")
+        if self.geo is not None:
+            if self.kind != "basil":
+                raise SimulationError(
+                    f"geo topologies only apply to the basil model, not "
+                    f"{self.kind!r}"
+                )
+            if self.byz_client_count:
+                raise SimulationError(
+                    "geo runs drive their own serving tier and do not "
+                    "support the byzantine client mix"
+                )
 
     def system_config(self) -> Any:
         if self.config is not None:
@@ -142,6 +158,10 @@ class ModelSpec:
 
 def make_plan(spec: ModelSpec) -> PartitionPlan:
     if spec.kind == "basil":
+        if spec.geo is not None:
+            from repro.geo.plan import geo_plan
+
+            return geo_plan(spec.system_config(), spec.geo)
         return basil_plan(spec.system_config(), spec.num_clients)
     if spec.kind == "microbench":
         return uniform_plan(spec.partitions, spec.lookahead)
@@ -227,8 +247,19 @@ class BasilPartitionHost(PartitionHost):
         self.spec = spec
         self.plan = plan
         self.partition_id = pid
-        self.is_client_partition = pid == plan.num_partitions - 1
-        self.system = BasilSystem(spec.system_config(), partition=plan.slice(pid))
+        if spec.geo is not None:
+            from repro.geo.runner import build_geo_system
+
+            # Every geo partition hosts one region's serving tier, so
+            # every partition runs its own GeoRunner (no dedicated
+            # client partition).
+            self.is_client_partition = False
+            self.system = build_geo_system(
+                spec.system_config(), spec.geo, partition=plan.slice(pid)
+            )
+        else:
+            self.is_client_partition = pid == plan.num_partitions - 1
+            self.system = BasilSystem(spec.system_config(), partition=plan.slice(pid))
         self.sim = self.system.sim
         self.tracer = None
         if spec.trace:
@@ -245,12 +276,26 @@ class BasilPartitionHost(PartitionHost):
 
     def _remote_send(self, src: str, dst: str, message: Any, delay: float) -> None:
         sim = self.sim
+        dst_partition = self.plan.partition_of(dst)
+        # The network already enforces the global lookahead; pairs with a
+        # recorded per-pair floor (geo region pairs) are held to their
+        # own, tighter bound so a misplaced node or a latency-model bug
+        # is named by region pair instead of slipping under the window.
+        floor = self.plan.pair_floor(self.partition_id, dst_partition)
+        if delay < floor:
+            raise SimulationError(
+                f"cross-partition delay {delay:g}s for {src} -> {dst} "
+                f"undercuts the "
+                f"{self.plan.partition_label(self.partition_id)} <-> "
+                f"{self.plan.partition_label(dst_partition)} latency floor "
+                f"{floor:g}s"
+            )
         self._outbox.append(
             Envelope(
                 src=src,
                 dst=dst,
                 src_partition=self.partition_id,
-                dst_partition=self.plan.partition_of(dst),
+                dst_partition=dst_partition,
                 seq=self._seq,
                 send_time=sim.now,
                 deliver_time=sim.now + delay,
@@ -261,12 +306,29 @@ class BasilPartitionHost(PartitionHost):
 
     def start(self) -> None:
         spec = self.spec
-        workload = spec.make_workload()
         self.injector = spec.make_injector()
         if spec.obs:
             from repro.obs.recorder import ObsRecorder
 
             self.recorder = ObsRecorder()
+        if spec.geo is not None:
+            from repro.geo.runner import GeoRunner
+
+            region = spec.geo.topology.regions[self.partition_id]
+            self.runner = GeoRunner(
+                self.system,
+                spec.geo,
+                duration=spec.duration,
+                warmup=spec.warmup,
+                name=spec.label,
+                recorder=self.recorder,
+                injector=self.injector,
+                regions=(region,),
+                keep_samples=True,
+            )
+            self.runner.setup()
+            return
+        workload = spec.make_workload()
         if self.is_client_partition:
             from repro.bench.runner import ExperimentRunner
 
@@ -525,9 +587,23 @@ class SequentialRun:
         if spec.kind == "microbench":
             self._start_microbench()
             return
+        self.injector = spec.make_injector()
+        if spec.geo is not None:
+            from repro.geo.runner import GeoRunner
+
+            self.runner = GeoRunner(
+                self.system,
+                spec.geo,
+                duration=spec.duration,
+                warmup=spec.warmup,
+                name=spec.label,
+                recorder=self.recorder,
+                injector=self.injector,
+            )
+            self.runner.setup()
+            return
         from repro.bench.runner import ExperimentRunner
 
-        self.injector = spec.make_injector()
         self.runner = ExperimentRunner(
             self.system,
             spec.make_workload(),
@@ -661,6 +737,10 @@ class _VirtualPidSim:
 
 def _sequential_system(spec: ModelSpec) -> Any:
     if spec.kind == "basil":
+        if spec.geo is not None:
+            from repro.geo.runner import build_geo_system
+
+            return build_geo_system(spec.system_config(), spec.geo)
         from repro.core.system import BasilSystem
 
         return BasilSystem(spec.system_config())

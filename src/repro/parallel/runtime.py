@@ -213,9 +213,19 @@ class ParallelRunner:
         fault_stats = _sum_counters(
             r.fault_stats for r in results.values() if r.fault_stats is not None
         )
-        bench = next(
-            (r.bench for _, r in sorted(results.items()) if r.bench is not None), None
-        )
+        if getattr(spec, "geo", None) is not None:
+            # Geo runs measure a serving tier on every partition: union
+            # the per-region rows instead of taking the first bench.
+            from repro.geo.runner import merge_geo_benches
+
+            bench = merge_geo_benches(
+                [r.bench for _, r in sorted(results.items()) if r.bench is not None]
+            )
+        else:
+            bench = next(
+                (r.bench for _, r in sorted(results.items()) if r.bench is not None),
+                None,
+            )
         if bench is not None:
             bench = _fold_into_bench(bench, results, fault_stats)
         report = None

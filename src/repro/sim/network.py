@@ -27,6 +27,52 @@ class NetworkAdversary(Protocol):
         """Return the actual delivery delay, or ``None`` to drop."""
 
 
+class LatencyModel(Protocol):
+    """Base one-way delivery delay as a function of the (src, dst) pair.
+
+    Implementations must preserve the determinism contract: at most one
+    ``rng.uniform`` draw per sampled message, taken if and only if the
+    pair's jitter is non-zero, so that swapping models never perturbs
+    unrelated draw sequences.
+    """
+
+    def sample(self, rng: Any, src: str, dst: str) -> float:
+        """One sampled one-way delay for a ``src -> dst`` message."""
+
+    def floor(self) -> float:
+        """A lower bound no sampled delay can undercut (lookahead basis)."""
+
+    def describe(self, src: str, dst: str) -> str:
+        """Human-readable name of the link class serving this pair."""
+
+
+class UniformLatency:
+    """The classic single-link model: one base latency + uniform jitter.
+
+    This is the default and is byte-identical to the old inlined
+    ``Network`` arithmetic (same draw order, same floats): the golden
+    digest of an unconfigured run pins that.
+    """
+
+    __slots__ = ("one_way", "jitter")
+
+    def __init__(self, one_way: float, jitter: float = 0.0) -> None:
+        self.one_way = one_way
+        self.jitter = jitter
+
+    def sample(self, rng: Any, src: str, dst: str) -> float:
+        base = self.one_way
+        if self.jitter:
+            base += rng.uniform(0.0, self.jitter)
+        return base
+
+    def floor(self) -> float:
+        return self.one_way
+
+    def describe(self, src: str, dst: str) -> str:
+        return f"uniform link ({self.one_way:g}s base)"
+
+
 class PassiveAdversary:
     """Default adversary: delivers everything with the modeled latency."""
 
@@ -42,10 +88,16 @@ class Network:
         sim: Simulator,
         config: NetworkConfig | None = None,
         adversary: NetworkAdversary | None = None,
+        latency: LatencyModel | None = None,
     ) -> None:
         self.sim = sim
         self.config = config or NetworkConfig()
         self.adversary: NetworkAdversary = adversary or PassiveAdversary()
+        #: Per-(src, dst) base delay; the uniform model reproduces the old
+        #: single-link arithmetic exactly.
+        self.latency: LatencyModel = latency or UniformLatency(
+            self.config.one_way_latency, self.config.jitter
+        )
         self._nodes: dict[str, Node] = {}
         #: Every name ever registered: lets ``send`` distinguish a typo'd
         #: destination (a bug — raise) from a crashed/unregistered node
@@ -120,11 +172,8 @@ class Network:
         self._lookahead = lookahead
 
     # -- latency model ----------------------------------------------------
-    def sample_latency(self) -> float:
-        base = self.config.one_way_latency
-        if self.config.jitter:
-            base += self._rng.uniform(0.0, self.config.jitter)
-        return base
+    def sample_latency(self, src: str = "", dst: str = "") -> float:
+        return self.latency.sample(self._rng, src, dst)
 
     # -- sending ----------------------------------------------------------
     def send(self, src: Node, dst: str, message: Any) -> None:
@@ -162,11 +211,9 @@ class Network:
                     dst=dst, msg=type(message).__name__, reason="drop_rate",
                 )
             return
-        # Inlined sample_latency(): send is the second-hottest call in the
-        # sim and the RNG draw order here is part of the determinism contract.
-        base = config.one_way_latency
-        if config.jitter:
-            base += self._rng.uniform(0.0, config.jitter)
+        # One model call per message: the RNG draw order inside
+        # ``latency.sample`` is part of the determinism contract.
+        base = self.latency.sample(self._rng, src.name, dst)
         delay = self.adversary.intercept(src.name, dst, message, base)
         if delay is None:
             self.messages_dropped += 1
@@ -214,9 +261,7 @@ class Network:
                     dst=dst, msg=type(message).__name__, reason="drop_rate",
                 )
             return
-        base = config.one_way_latency
-        if config.jitter:
-            base += self._rng.uniform(0.0, config.jitter)
+        base = self.latency.sample(self._rng, src.name, dst)
         delay = self.adversary.intercept(src.name, dst, message, base)
         if delay is None:
             self.messages_dropped += 1
@@ -231,7 +276,8 @@ class Network:
         if delay < self._lookahead:
             raise SimulationError(
                 f"cross-partition delay {delay} violates lookahead "
-                f"{self._lookahead} ({src.name} -> {dst})"
+                f"{self._lookahead} ({src.name} -> {dst} over "
+                f"{self.latency.describe(src.name, dst)})"
             )
         if tracer.enabled:
             tracer.instant(
@@ -273,7 +319,8 @@ class Network:
             if delay < self._lookahead:
                 raise SimulationError(
                     f"cross-partition inject delay {delay} violates lookahead "
-                    f"{self._lookahead} ({src} -> {dst})"
+                    f"{self._lookahead} ({src} -> {dst} over "
+                    f"{self.latency.describe(src, dst)})"
                 )
             self._remote_send(src, dst, message, delay)
             return

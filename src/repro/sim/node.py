@@ -145,6 +145,11 @@ class Node:
         self.partition_id: int | None = None
         #: Clock offset relative to true simulated time (models NTP skew).
         self.clock_offset = 0.0
+        #: Geographic region hosting this node (:mod:`repro.geo`); empty
+        #: in single-datacenter runs.  When set, region-aware metric
+        #: sites add a ``region`` label so health rules can be evaluated
+        #: per region.
+        self.region = ""
         self.messages_received = 0
         self.messages_sent = 0
         #: True between crash() and restart(); a crashed node processes

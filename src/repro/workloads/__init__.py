@@ -15,6 +15,7 @@ the system-agnostic session API.
 """
 
 from repro.workloads.base import TxOutcome, Workload
+from repro.workloads.geo import GeoSessionWorkload
 from repro.workloads.retwis import RetwisWorkload
 from repro.workloads.smallbank import SmallbankWorkload
 from repro.workloads.ycsb import YCSBWorkload
@@ -42,6 +43,8 @@ WORKLOADS = {
         num_keys=keys, **{"reads": 24, "writes": 0, "distribution": "uniform", **kw}
     ),
     "retwis": lambda keys, **kw: RetwisWorkload(num_users=keys, **kw),
+    # Single-key session ops issued by geo edge users (repro.geo).
+    "geo-sessions": lambda keys, **kw: GeoSessionWorkload(num_keys=keys, **kw),
     "smallbank": lambda keys, **kw: SmallbankWorkload(
         num_accounts=keys, **{"hot_accounts": max(1, keys // 20), **kw}
     ),

@@ -1,0 +1,83 @@
+"""The geo serving acceptance: edge reads regional, direct reads pay WAN.
+
+One sequential wan3 point per serving mode.  The edge tier must serve
+its read p50 from the lease cache (well under one cross-region RTT)
+while the direct tier's read p50 cannot beat a quorum round trip to the
+nearest remote region; both must actually commit writes through the
+Basil core.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.geo.plan import GeoSpec
+from repro.geo.runner import GeoRunner, build_geo_system, wan_timeouts
+from repro.geo.topology import wan3
+
+pytestmark = pytest.mark.geo_smoke
+
+
+def _point(mode: str):
+    config = SystemConfig(num_shards=1, seed=7)
+    geo = GeoSpec(
+        topology=wan3(), mode=mode, users_per_region=4, keys=16, lease_ttl=2.0
+    )
+    system = build_geo_system(config, geo)
+    return GeoRunner(system, geo, duration=0.8, warmup=0.2).run()
+
+
+@pytest.fixture(scope="module")
+def points():
+    return {mode: _point(mode) for mode in ("edge", "direct")}
+
+
+def test_wan_timeouts_scale_to_the_matrix():
+    config = SystemConfig()
+    scaled = wan_timeouts(config, wan3())
+    worst_rtt = 2.0 * (0.090 + 0.006)  # us-east <-> ap-south
+    assert scaled.request_timeout == pytest.approx(2.5 * worst_rtt)
+    assert scaled.dependency_timeout == pytest.approx(1.5 * worst_rtt)
+    # raised, never lowered
+    generous = config.with_overrides(request_timeout=10.0)
+    assert wan_timeouts(generous, wan3()).request_timeout == 10.0
+
+
+def test_edge_reads_stay_regional(points):
+    g = points["edge"].extra["geo"]
+    rtt = g["cross_region_rtt"]
+    assert g["ops"] > 100
+    assert g["failures"] == 0
+    # the acceptance bound: p50 below one cross-region RTT — the lease
+    # cache actually serves it locally, orders of magnitude below
+    assert g["read_p50"] < 0.5 * rtt
+    for region, row in g["regions"].items():
+        assert row["lease_hits"] > 0, region
+        assert row["read_failures"] == 0, region
+
+
+def test_direct_reads_pay_a_wan_quorum(points):
+    g = points["direct"].extra["geo"]
+    # a 2f+1 read fanout over region-spanning shards cannot resolve
+    # faster than one round trip to the nearest remote region
+    assert g["read_p50"] >= 2.0 * g["min_cross_region_base"] * 0.99
+    assert g["failures"] == 0
+
+
+def test_both_modes_commit_through_the_core(points):
+    for mode, bench in points.items():
+        assert bench.commits > 0, mode
+        assert bench.commit_rate > 0.9, mode
+    edge_g = points["edge"].extra["geo"]
+    writebacks = sum(
+        row["writeback_commits"] for row in edge_g["regions"].values()
+    )
+    assert writebacks > 0  # buffered writes really reach consensus
+
+
+def test_edge_write_acks_wait_for_consensus(points):
+    g = points["edge"].extra["geo"]
+    # write-back acks only after the core commits, so write latency is
+    # at least the flush cadence and typically a WAN round trip
+    assert g["write_p50"] > points["edge"].extra["geo"]["read_p50"]
