@@ -1,6 +1,6 @@
 # Convenience targets for the Basil reproduction.
 
-.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record load-smoke load-sweep obs-smoke obs-check parallel-smoke parallel-ladder geo-smoke geo-sweep examples figures clean
+.PHONY: install test bench quick-bench trace-smoke fault-smoke fault-sweep perf-smoke perf-record prof-smoke prof-trend load-smoke load-sweep obs-smoke obs-check parallel-smoke parallel-ladder geo-smoke geo-sweep examples figures clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -26,7 +26,16 @@ fault-sweep:
 	python -m repro.faults sweep --seeds 25
 
 perf-smoke:
-	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py benchmarks/perf_figures.py benchmarks/perf_geo.py -m perf_smoke -q -s
+	pytest benchmarks/perf_kernel.py benchmarks/perf_parallel.py benchmarks/perf_figures.py benchmarks/perf_geo.py benchmarks/perf_prof.py -m perf_smoke -q -s
+
+prof-smoke:
+	pytest tests/prof -m prof_smoke -q
+	python examples/profile_hot_path.py
+	python -m repro.prof run --bench microbench-quick --no-deep --min-coverage 0.8
+	python -m repro.prof trend
+
+prof-trend:
+	python -m repro.prof trend --markdown
 
 perf-record:
 	python -m repro.perf record --out BENCH_PR6.json

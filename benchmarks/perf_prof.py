@@ -1,0 +1,68 @@
+"""Perf gate for the profiling subsystem itself (PR 10).
+
+Run via ``make perf-smoke``: profiles the quick fig4 Basil point through
+``repro.prof`` and asserts the acceptance properties of the attribution
+pipeline:
+
+* at ``workers=1`` the attribution table accounts for at least 80% of
+  the measured wall clock (the table is a partition of wall time, so a
+  large unattributed residue means a seam lost its hooks);
+* at ``workers=2`` each worker ships a profile and the merged table
+  carries both sim-side frames and the worker-level exchange seams;
+* the flamegraph/collapsed artifacts render from a deep run of the
+  kernel microbench (small enough that sampling overhead stays cheap).
+
+Nothing here writes ``BENCH_*`` rows — profiled walls include frame
+overhead and must never gate the perf baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prof.flame import render_flame_html, write_collapsed
+from repro.prof.runners import profile_run
+
+pytestmark = pytest.mark.perf_smoke
+
+
+@pytest.fixture(scope="module")
+def fig4_profile():
+    return profile_run("fig4-basil-quick", workers=1)
+
+
+def test_attribution_covers_most_of_wall(fig4_profile):
+    report = fig4_profile
+    assert report.events > 0
+    assert report.subsystems
+    assert report.coverage >= 0.8, (
+        f"attribution coverage {report.coverage:.1%} < 80% — a kernel seam "
+        f"lost its begin/end hooks; table: {list(report.subsystems)[:8]}"
+    )
+
+
+def test_attribution_ranks_protocol_subsystems(fig4_profile):
+    table = fig4_profile.subsystems
+    for sub in ("task.step", "cpu.spend", "network.deliver", "crypto.sign"):
+        assert sub in table, f"{sub} missing from attribution"
+    # task.step is the trampoline hot path on every protocol figure.
+    assert next(iter(table)) == "task.step"
+
+
+def test_workers2_per_worker_profiles_merge():
+    report = profile_run("fig4-basil-quick", workers=2)
+    assert len(report.per_partition) >= 2, "partition tables missing"
+    assert "exchange.wait" in report.subsystems
+    assert "exchange.pipe" in report.subsystems
+    assert "task.step" in report.subsystems
+    assert report.coverage >= 0.8
+
+
+def test_deep_run_produces_flamegraph_artifacts(tmp_path):
+    report = profile_run("microbench-quick", workers=1, deep=True)
+    assert report.collapsed, "deep run captured no stacks"
+    collapsed_path = tmp_path / "micro.collapsed.txt"
+    write_collapsed(str(collapsed_path), report.collapsed)
+    assert collapsed_path.stat().st_size > 0
+    html = render_flame_html(report.collapsed, title=report.name)
+    assert "<svg" in html and report.name in html

@@ -67,11 +67,29 @@ class CryptoContext:
     async def sign(self, payload: Any) -> SignedMessage:
         """Sign a payload, charging one signature generation."""
         await self.charge_sign()
-        return SignedMessage(payload=payload, signature=self.key.sign(payload))
+        # Profiler frames bracket synchronous segments only — never an
+        # await — so the frame stack cannot interleave across tasks.
+        profiler = self.cpu.sim.profiler
+        if profiler.enabled:
+            profiler.begin("crypto.sign")
+            try:
+                signature = self.key.sign(payload)
+            finally:
+                profiler.end()
+        else:
+            signature = self.key.sign(payload)
+        return SignedMessage(payload=payload, signature=signature)
 
     async def sign_digest(self, digest: Digest) -> Signature:
         """Sign a precomputed digest (used for Merkle batch roots)."""
         await self.charge_sign()
+        profiler = self.cpu.sim.profiler
+        if profiler.enabled:
+            profiler.begin("crypto.sign")
+            try:
+                return self.key.sign_digest(digest)
+            finally:
+                profiler.end()
         return self.key.sign_digest(digest)
 
     def charge_sign(self) -> Future:
@@ -95,14 +113,25 @@ class CryptoContext:
                 self.verify_memo_hits += 1
                 return verdict
         await self.charge_verify()
-        try:
-            self.registry.verify_digest(signature, digest)
-            verdict = True
-        except Exception:  # CryptoError subclasses
-            verdict = False
+        profiler = self.cpu.sim.profiler
+        if profiler.enabled:
+            profiler.begin("crypto.verify")
+            try:
+                verdict = self._check_digest(signature, digest)
+            finally:
+                profiler.end()
+        else:
+            verdict = self._check_digest(signature, digest)
         if memo is not None:
             memo[key] = verdict
         return verdict
+
+    def _check_digest(self, signature: Signature, digest: Digest) -> bool:
+        try:
+            self.registry.verify_digest(signature, digest)
+            return True
+        except Exception:  # CryptoError subclasses
+            return False
 
     def probe_verify(self, signature: Signature, digest: Digest) -> bool | None:
         """Memo-only fast path: the cached verdict, or ``None`` on a miss.
@@ -138,11 +167,15 @@ class CryptoContext:
                 self.signatures_verified += 1
                 self.verify_memo_hits += 1
                 return verdict, True
-        try:
-            self.registry.verify_digest(signature, digest)
-            verdict = True
-        except Exception:  # CryptoError subclasses
-            verdict = False
+        profiler = self.cpu.sim.profiler
+        if profiler.enabled:
+            profiler.begin("crypto.verify")
+            try:
+                verdict = self._check_digest(signature, digest)
+            finally:
+                profiler.end()
+        else:
+            verdict = self._check_digest(signature, digest)
         if memo is not None:
             memo[key] = verdict
         return verdict, False
@@ -176,7 +209,15 @@ class CryptoContext:
     # -- hashing ------------------------------------------------------------
     async def hash(self, payload: Any, size_hint: int | None = None) -> Digest:
         """Digest a payload, charging modeled hash time."""
-        digest = digest_of(payload)
+        profiler = self.cpu.sim.profiler
+        if profiler.enabled:
+            profiler.begin("crypto.hash")
+            try:
+                digest = digest_of(payload)
+            finally:
+                profiler.end()
+        else:
+            digest = digest_of(payload)
         await self.charge_hash(size_hint if size_hint is not None else 64)
         return digest
 
@@ -197,7 +238,17 @@ class CryptoContext:
         a ``with`` span, so cancellation mid-charge still records the
         truncated span, exactly as before.
         """
-        if not self.cpu.sim.tracer.enabled:
+        sim = self.cpu.sim
+        profiler = sim.profiler
+        if not sim.tracer.enabled:
+            if profiler.enabled:
+                # Attribution for the charge plumbing itself; the core
+                # occupancy scheduling nests as cpu.spend/heap_push.
+                profiler.begin("crypto.charge")
+                try:
+                    return self.cpu.spend(cost)
+                finally:
+                    profiler.end()
             return self.cpu.spend(cost)
         return self._traced_spend_span(op, cost)
 

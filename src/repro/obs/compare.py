@@ -106,6 +106,17 @@ def _delta(metric: str, a: float, b: float, tolerance: float, direction: int) ->
     return MetricDelta(metric, a, b, rel, flagged, worse)
 
 
+def _prof_shares(report: RunReport) -> dict[str, float]:
+    """``subsystem -> share`` from a report's profiler meta (empty when
+    the run carried no profiler)."""
+    prof = (report.meta or {}).get("prof") or {}
+    return {
+        row["subsystem"]: float(row["share"])
+        for row in prof.get("top", [])
+        if "subsystem" in row
+    }
+
+
 def compare_reports(
     a: RunReport, b: RunReport, tolerance: float = DEFAULT_TOLERANCE
 ) -> CompareResult:
@@ -130,6 +141,21 @@ def compare_reports(
             if va == 0 and vb == 0:
                 continue
             result.deltas.append(_delta(f"bench.{name}", float(va), float(vb), tolerance, direction))
+
+    profs_a = _prof_shares(a)
+    profs_b = _prof_shares(b)
+    if profs_a and profs_b:
+        # Attribution shifts: a subsystem whose share of wall moved in
+        # either direction is noteworthy (direction 0) — growth means a
+        # new hot spot, shrinkage means the hot spot moved elsewhere.
+        for sub in sorted(set(profs_a) | set(profs_b)):
+            va = profs_a.get(sub, 0.0)
+            vb = profs_b.get(sub, 0.0)
+            if va == 0.0 and vb == 0.0:
+                continue
+            result.deltas.append(
+                _delta(f"prof.{sub}.share", va, vb, tolerance, 0)
+            )
 
     finals_a = a.final_series_values()
     finals_b = b.final_series_values()

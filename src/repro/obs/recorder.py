@@ -107,6 +107,15 @@ class ObsRecorder:
         series = self.ticker.series()
         verdicts = evaluate_rules(self.rules, series)
         sim = getattr(self.system, "sim", None)
+        profiler = getattr(sim, "profiler", None)
+        if profiler is not None and getattr(profiler, "enabled", False):
+            # A wall-clock profiler rode this run: surface its top-3
+            # attribution shares so report diffs can flag subsystem
+            # shifts alongside telemetry regressions.
+            from repro.prof.profiler import top_shares
+
+            meta = dict(meta or {})
+            meta["prof"] = {"top": top_shares(profiler.table(), 3)}
         bench_dict = None
         if bench is not None:
             bench_dict = _jsonable(bench)

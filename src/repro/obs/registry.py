@@ -88,10 +88,21 @@ class MetricsRegistry:
 # ---------------------------------------------------------------------------
 # Exporters
 # ---------------------------------------------------------------------------
+def _prom_escape(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format
+    (backslash, double quote, and newline are the reserved characters)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: dict[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(f'{k}="{_prom_escape(labels[k])}"' for k in sorted(labels))
     return "{" + inner + "}"
 
 

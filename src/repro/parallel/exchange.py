@@ -127,6 +127,11 @@ class WorkerResult:
     worker_id: int
     partitions: tuple[PartitionResult, ...]
     wall_s: float
+    #: Worker-level profile (``spec.prof``/``spec.prof_deep`` only):
+    #: ``{"attr": exchange-seam attribution table, "deep": collapsed
+    #: stacks}``.  Partition-level attribution rides each
+    #: PartitionResult's ``extra["prof"]`` instead.
+    prof: dict[str, Any] | None = None
 
 
 @dataclass(frozen=True)

@@ -80,6 +80,14 @@ class ModelSpec:
     #: writes ``{label}-p{pid}.trace.json`` / ``.obs.json`` there.
     trace_dir: str | None = None
     obs_dir: str | None = None
+    #: Attach a wall-clock attribution profiler per partition
+    #: (:mod:`repro.prof`); tables ride each PartitionResult's ``extra``
+    #: and merge in the profile report.  Never perturbs the schedule.
+    prof: bool = False
+    #: Additionally run the ``sys.setprofile`` deep profiler per worker
+    #: (collapsed stacks for flamegraphs; 3-10x slower, still
+    #: schedule-identical).
+    prof_deep: bool = False
     # -- microbench knobs ------------------------------------------------
     partitions: int = 8
     timers: int = 2_000  #: self-rescheduling timers per partition
@@ -266,6 +274,11 @@ class BasilPartitionHost(PartitionHost):
             from repro.trace.tracer import Tracer
 
             self.tracer = self.sim.attach_tracer(Tracer())
+        self.profiler = None
+        if spec.prof:
+            from repro.prof.profiler import install_profiler
+
+            self.profiler = install_profiler(self.sim, self.system)
         self.recorder = None
         self.runner = None
         self.injector = None
@@ -275,6 +288,21 @@ class BasilPartitionHost(PartitionHost):
         self.system.network.bind_partition(self._remote_send, plan.lookahead)
 
     def _remote_send(self, src: str, dst: str, message: Any, delay: float) -> None:
+        profiler = self.sim.profiler
+        if profiler.enabled:
+            # The serialization seam of the parallel envelope path: the
+            # pickling itself happens in the worker's pipe send
+            # (exchange.pipe), but envelope construction and routing are
+            # per-message and attributable here.
+            profiler.begin("exchange.envelope")
+            try:
+                self._build_envelope(src, dst, message, delay)
+            finally:
+                profiler.end()
+        else:
+            self._build_envelope(src, dst, message, delay)
+
+    def _build_envelope(self, src: str, dst: str, message: Any, delay: float) -> None:
         sim = self.sim
         dst_partition = self.plan.partition_of(dst)
         # The network already enforces the global lookahead; pairs with a
@@ -371,11 +399,18 @@ class BasilPartitionHost(PartitionHost):
 
     def finalize(self) -> PartitionResult:
         spec = self.spec
+        profiler = self.profiler
         bench = None
         if self.runner is not None:
             from repro.obs.report import _jsonable
 
-            result = self.runner.finalize()
+            if profiler is not None:
+                profiler.begin("runner.finalize")
+            try:
+                result = self.runner.finalize()
+            finally:
+                if profiler is not None:
+                    profiler.end()
             if spec.byz_client_count:
                 clients = getattr(self.system, "clients", [])
                 result.extra["equiv_attempts"] = sum(
@@ -396,9 +431,18 @@ class BasilPartitionHost(PartitionHost):
         if self.tracer is not None:
             from repro.trace.export import trace_digest
 
-            digest = trace_digest(self.tracer)
+            # sha256 over every trace event — attribute it so post-run
+            # reporting can't masquerade as kernel time.
+            if profiler is not None:
+                profiler.begin("report.digest")
+            try:
+                digest = trace_digest(self.tracer)
+            finally:
+                if profiler is not None:
+                    profiler.end()
             _write_trace_artifact(spec, self.tracer, self.partition_id)
         network = self.system.network
+        extra = {"prof": profiler.table()} if profiler is not None else None
         return PartitionResult(
             partition_id=self.partition_id,
             digest=digest,
@@ -413,6 +457,7 @@ class BasilPartitionHost(PartitionHost):
             report=report,
             fault_stats=dict(self.injector.stats) if self.injector else None,
             abort_reasons=_replica_abort_reasons(self.system),
+            extra=extra,
         )
 
 
@@ -434,6 +479,11 @@ class MicrobenchPartitionHost(PartitionHost):
         self.plan = plan
         self.partition_id = pid
         self.sim = Simulator(seed=spec.system_config().seed, partition_id=pid)
+        self.profiler = None
+        if spec.prof:
+            from repro.prof.profiler import install_profiler
+
+            self.profiler = install_profiler(self.sim)
         self._outbox: list[Envelope] = []
         self._seq = 0
         self._state = _MicrobenchState()
@@ -480,6 +530,9 @@ class MicrobenchPartitionHost(PartitionHost):
 
     def finalize(self) -> PartitionResult:
         state = self._state
+        extra: dict[str, Any] = {"fires": state.fires}
+        if self.profiler is not None:
+            extra["prof"] = self.profiler.table()
         return PartitionResult(
             partition_id=self.partition_id,
             digest=state.digest(),
@@ -488,7 +541,7 @@ class MicrobenchPartitionHost(PartitionHost):
             rng_streams=self.sim.rng_streams(),
             cross_sent=self._seq,
             cross_received=state.cross_received,
-            extra={"fires": state.fires},
+            extra=extra,
         )
 
 
@@ -580,6 +633,11 @@ class SequentialRun:
             from repro.obs.recorder import ObsRecorder
 
             self.recorder = ObsRecorder()
+        self.profiler = None
+        if spec.prof:
+            from repro.prof.profiler import install_profiler
+
+            self.profiler = install_profiler(self.sim, self.system)
 
     def start(self) -> None:
         """Schedule all initial work without executing any event."""
@@ -654,12 +712,19 @@ class SequentialRun:
     def run_prepared(self) -> PartitionResult:
         """Advance to end_time and summarize (``start()`` already called)."""
         spec = self.spec
+        profiler = self.profiler
         self.sim.run(until=spec.end_time())
         bench = None
         if self.runner is not None:
             from repro.obs.report import _jsonable
 
-            result = self.runner.finalize()
+            if profiler is not None:
+                profiler.begin("runner.finalize")
+            try:
+                result = self.runner.finalize()
+            finally:
+                if profiler is not None:
+                    profiler.end()
             if spec.byz_client_count:
                 clients = getattr(self.system, "clients", [])
                 result.extra["equiv_attempts"] = sum(
@@ -681,11 +746,18 @@ class SequentialRun:
         elif self.tracer is not None:
             from repro.trace.export import trace_digest
 
-            digest = trace_digest(self.tracer)
+            if profiler is not None:
+                profiler.begin("report.digest")
+            try:
+                digest = trace_digest(self.tracer)
+            finally:
+                if profiler is not None:
+                    profiler.end()
             _write_trace_artifact(spec, self.tracer, None)
         else:
             digest = ""
         network = getattr(self.system, "network", None)
+        extra = {"prof": profiler.table()} if profiler is not None else None
         return PartitionResult(
             partition_id=-1,
             digest=digest,
@@ -700,6 +772,7 @@ class SequentialRun:
             report=report,
             fault_stats=dict(self.injector.stats) if self.injector else None,
             abort_reasons=_replica_abort_reasons(self.system) if self.system else None,
+            extra=extra,
         )
 
 

@@ -54,6 +54,10 @@ class ParallelResult:
     cross_messages: int = 0
     undeliverable: int = 0  #: envelopes due after the end of the run
     per_partition: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: Worker-level profiles (``spec.prof``/``spec.prof_deep``): one
+    #: ``{"attr": ..., "deep": ...}`` dict per worker.  Per-partition
+    #: attribution tables ride ``per_partition[pid]["prof"]``.
+    prof: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def events_per_s(self) -> float:
@@ -95,9 +99,25 @@ class ParallelRunner:
             gc.collect()
             gc.freeze()
             gc.disable()
+        deep = None
+        if spec.prof_deep:
+            from repro.prof.deep import DeepProfiler
+
+            deep = DeepProfiler()
+            deep.start()
         t0 = time.perf_counter()
         result = seq.run_prepared()
         wall = time.perf_counter() - t0
+        if deep is not None:
+            deep.stop()
+        prof = []
+        if spec.prof or spec.prof_deep:
+            prof = [
+                {
+                    "attr": {},  # no exchange seams in a sequential run
+                    "deep": dict(deep.collapsed) if deep is not None else None,
+                }
+            ]
         return ParallelResult(
             digest=result.digest,
             events=result.events,
@@ -111,6 +131,7 @@ class ParallelRunner:
             report=result.report,
             fault_stats=result.fault_stats,
             per_partition={-1: _summary(result)},
+            prof=prof,
         )
 
     # ------------------------------------------------------------------
@@ -170,10 +191,13 @@ class ParallelRunner:
             for conn in pipes:
                 conn.send(None)
             partition_results: dict[int, PartitionResult] = {}
+            worker_profs: list[dict[str, Any]] = []
             for conn in pipes:
                 result = _expect(conn.recv(), WorkerResult)
                 for part in result.partitions:
                     partition_results[part.partition_id] = part
+                if result.prof is not None:
+                    worker_profs.append(result.prof)
             wall = time.perf_counter() - t0
             for proc in procs:
                 proc.join(timeout=30)
@@ -186,7 +210,7 @@ class ParallelRunner:
 
         return self._merge(
             plan, partition_results, num_workers, windows, wall, cross_messages,
-            undeliverable,
+            undeliverable, worker_profs,
         )
 
     def _merge(
@@ -198,6 +222,7 @@ class ParallelRunner:
         wall: float,
         cross_messages: int,
         undeliverable: int,
+        worker_profs: list[dict[str, Any]] | None = None,
     ) -> ParallelResult:
         spec = self.spec
         if len(results) != plan.num_partitions:
@@ -258,6 +283,7 @@ class ParallelRunner:
             cross_messages=cross_messages,
             undeliverable=undeliverable,
             per_partition={pid: _summary(r) for pid, r in results.items()},
+            prof=worker_profs or [],
         )
 
 

@@ -42,6 +42,18 @@ def worker_main(
     of dying silently.
     """
     try:
+        profiler = None
+        deep = None
+        if spec.prof:
+            from repro.prof.profiler import Profiler
+
+            # Worker-level seams the per-partition profilers can't see:
+            # pipe waits (coordinator barrier) and report serialization.
+            profiler = Profiler()
+        if spec.prof_deep:
+            from repro.prof.deep import DeepProfiler
+
+            deep = DeepProfiler()
         hosts = [build_partition(spec, plan, pid) for pid in owned]
         for host in hosts:
             host.start()
@@ -55,9 +67,18 @@ def worker_main(
             gc.freeze()
             gc.disable()
         conn.send(WorkerReady(worker_id))
+        if deep is not None:
+            deep.start()
         t0 = time.perf_counter()
         while True:
-            grant = conn.recv()
+            if profiler is not None:
+                # Blocked on the coordinator barrier: the parallel
+                # efficiency loss the attribution report must show.
+                profiler.begin("exchange.wait")
+                grant = conn.recv()
+                profiler.end()
+            else:
+                grant = conn.recv()
             if grant is None:
                 break
             reports = []
@@ -73,10 +94,25 @@ def worker_main(
                 reports.append(
                     WindowReport(grant.window, host.partition_id, host.take_outbox())
                 )
-            conn.send(tuple(reports))
+            if profiler is not None:
+                # Envelope pickling onto the pipe: the serialization cost
+                # of the cross-partition exchange.
+                profiler.begin("exchange.pipe")
+                conn.send(tuple(reports))
+                profiler.end()
+            else:
+                conn.send(tuple(reports))
         wall = time.perf_counter() - t0
+        if deep is not None:
+            deep.stop()
         results = tuple(host.finalize() for host in hosts)
-        conn.send(WorkerResult(worker_id, results, wall))
+        prof = None
+        if profiler is not None or deep is not None:
+            prof = {
+                "attr": profiler.table() if profiler is not None else {},
+                "deep": dict(deep.collapsed) if deep is not None else None,
+            }
+        conn.send(WorkerResult(worker_id, results, wall, prof=prof))
     except BaseException:
         try:
             conn.send(WorkerError(worker_id, traceback.format_exc()))

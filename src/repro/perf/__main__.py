@@ -25,6 +25,10 @@ def main(argv: list[str] | None = None) -> int:
     rec = sub.add_parser("record", help="run the suite and write a baseline")
     rec.add_argument("--out", default="BENCH_PR3.json")
     rec.add_argument("--quick", action="store_true")
+    rec.add_argument("--prof", action="store_true",
+                     help="attach wall-clock attribution; each row gains a "
+                     "top-3 subsystem summary (adds overhead — don't record "
+                     "gating baselines with it)")
 
     chk = sub.add_parser("check", help="run the suite and gate on the baseline")
     chk.add_argument("--quick", action="store_true")
@@ -34,7 +38,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.cmd == "record":
-        entries = run_all(quick=args.quick)
+        entries = run_all(quick=args.quick, prof=args.prof)
         if args.quick and os.path.exists(args.out):
             # Merge quick entries into an existing (full) baseline.
             with open(args.out) as fh:
@@ -51,6 +55,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{entry.bench:<24} wall {entry.wall_s:7.3f}s  "
                 f"{entry.events_per_s:>12,.0f} events/s  sim_tput {entry.sim_tput:,.0f}"
             )
+            if entry.prof:
+                shares = "  ".join(
+                    f"{row['subsystem']} {row['share'] * 100:.0f}%"
+                    for row in entry.prof
+                )
+                print(f"{'':<24} prof: {shares}")
         print(f"wrote {args.out}")
         return 0
 

@@ -24,17 +24,40 @@ class BenchEntry:
     wall_s: float
     events_per_s: float
     sim_tput: float
+    #: Top-3 wall-clock attribution shares (``--prof`` runs only):
+    #: ``[{subsystem, wall_s, share, calls}, ...]``.  Omitted from the
+    #: JSON row when absent so baselines stay byte-stable.
+    prof: list[dict] | None = None
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        row = asdict(self)
+        if row.get("prof") is None:
+            row.pop("prof", None)
+        return row
+
+
+def _attach_profiler(sim: Simulator):
+    """Attribution hook-up for a microbench sim (``prof=True`` runs)."""
+    from repro.prof.profiler import install_profiler
+
+    return install_profiler(sim)
+
+
+def _prof_summary(profiler) -> list[dict] | None:
+    if profiler is None:
+        return None
+    from repro.prof.profiler import top_shares
+
+    return top_shares(profiler.table(), 3)
 
 
 # ----------------------------------------------------------------------
 # Kernel microbenchmarks
 # ----------------------------------------------------------------------
-def bench_kernel_timers(n: int) -> BenchEntry:
+def bench_kernel_timers(n: int, prof: bool = False) -> BenchEntry:
     """Schedule n timers, cancel half (the wait_for pattern), run the rest."""
     sim = Simulator(seed=1)
+    profiler = _attach_profiler(sim) if prof else None
     counter = [0]
 
     def tick() -> None:
@@ -52,12 +75,14 @@ def bench_kernel_timers(n: int) -> BenchEntry:
         wall_s=wall,
         events_per_s=sim.events_processed / wall if wall > 0 else 0.0,
         sim_tput=0.0,
+        prof=_prof_summary(profiler),
     )
 
 
-def bench_kernel_tasks(n: int) -> BenchEntry:
+def bench_kernel_tasks(n: int, prof: bool = False) -> BenchEntry:
     """n task pairs ping-pong through sleeps (the trampoline hot path)."""
     sim = Simulator(seed=2)
+    profiler = _attach_profiler(sim) if prof else None
     done = [0]
 
     async def worker(rounds: int) -> None:
@@ -76,12 +101,14 @@ def bench_kernel_tasks(n: int) -> BenchEntry:
         wall_s=wall,
         events_per_s=sim.events_processed / wall if wall > 0 else 0.0,
         sim_tput=0.0,
+        prof=_prof_summary(profiler),
     )
 
 
-def bench_kernel_queue(n: int) -> BenchEntry:
+def bench_kernel_queue(n: int, prof: bool = False) -> BenchEntry:
     """Producer/consumer mailboxes under wait_for (the protocol idiom)."""
     sim = Simulator(seed=3)
+    profiler = _attach_profiler(sim) if prof else None
     received = [0]
 
     async def consumer(q: Queue, count: int) -> None:
@@ -108,6 +135,7 @@ def bench_kernel_queue(n: int) -> BenchEntry:
         wall_s=wall,
         events_per_s=sim.events_processed / wall if wall > 0 else 0.0,
         sim_tput=0.0,
+        prof=_prof_summary(profiler),
     )
 
 
@@ -122,6 +150,7 @@ def _basil_run(
     num_clients: int,
     duration: float,
     warmup: float,
+    prof: bool = False,
 ) -> BenchEntry:
     from repro.bench.runner import ExperimentRunner
     from repro.config import CryptoConfig, SystemConfig
@@ -135,6 +164,11 @@ def _basil_run(
         crypto=CryptoConfig(enabled=crypto_enabled),
     )
     system = BasilSystem(config)
+    profiler = None
+    if prof:
+        from repro.prof.profiler import install_profiler
+
+        profiler = install_profiler(system.sim, system)
     workload = YCSBWorkload(num_keys=1000, reads=2, writes=2)
     runner = ExperimentRunner(
         system,
@@ -152,20 +186,25 @@ def _basil_run(
         wall_s=wall,
         events_per_s=system.sim.events_processed / wall if wall > 0 else 0.0,
         sim_tput=result.throughput,
+        prof=_prof_summary(profiler),
     )
 
 
-def run_all(quick: bool = False) -> list[BenchEntry]:
+def run_all(quick: bool = False, prof: bool = False) -> list[BenchEntry]:
     """Run the full suite; ``quick`` shrinks sizes for the smoke test.
 
     Quick and full entries carry different bench names, so a quick check
     never compares against a full-scale baseline (or vice versa).
+    ``prof`` additionally records each bench's top-3 subsystem
+    attribution shares into the rows (simulated schedules unchanged —
+    the hooks read only the wall clock — but wall itself pays the frame
+    overhead, so don't record gating baselines with it on).
     """
     if quick:
         return [
-            bench_kernel_timers(20_000),
-            bench_kernel_tasks(500),
-            bench_kernel_queue(8_000),
+            bench_kernel_timers(20_000, prof=prof),
+            bench_kernel_tasks(500, prof=prof),
+            bench_kernel_queue(8_000, prof=prof),
             _basil_run(
                 "basil-fig5c-quick",
                 num_shards=2,
@@ -173,12 +212,13 @@ def run_all(quick: bool = False) -> list[BenchEntry]:
                 num_clients=10,
                 duration=0.08,
                 warmup=0.02,
+                prof=prof,
             ),
         ]
     return [
-        bench_kernel_timers(200_000),
-        bench_kernel_tasks(5_000),
-        bench_kernel_queue(80_000),
+        bench_kernel_timers(200_000, prof=prof),
+        bench_kernel_tasks(5_000, prof=prof),
+        bench_kernel_queue(80_000, prof=prof),
         _basil_run(
             "basil-fig5c-sig",
             num_shards=2,
@@ -186,6 +226,7 @@ def run_all(quick: bool = False) -> list[BenchEntry]:
             num_clients=40,
             duration=0.3,
             warmup=0.1,
+            prof=prof,
         ),
         _basil_run(
             "basil-fig5a-nosig",
@@ -194,6 +235,7 @@ def run_all(quick: bool = False) -> list[BenchEntry]:
             num_clients=40,
             duration=0.3,
             warmup=0.1,
+            prof=prof,
         ),
     ]
 

@@ -1,0 +1,41 @@
+"""Wall-clock profiling & performance attribution (off by default).
+
+Three pillars:
+
+* :mod:`repro.prof.profiler` — exclusive-time subsystem attribution at
+  the kernel seams (event dispatch, task trampoline, ``Cpu.spend``,
+  network send, crypto charging, ``VersionStore`` probes, the parallel
+  envelope path).  Zero events/RNG/schedule impact; golden-digest
+  pinned.
+* :mod:`repro.prof.deep` / :mod:`repro.prof.flame` — ``sys.setprofile``
+  deep mode with collapsed-stack (flamegraph) and top-N hot-function
+  export, runnable per parallel worker and merged like digests.
+* :mod:`repro.prof.trend` — BENCH_PR*.json trajectory analytics with
+  regression flagging.
+
+CLI: ``python -m repro.prof {run,report,trend}``.
+
+Only the dependency-free profiler core is imported eagerly so the sim
+kernel can use ``from repro.prof.profiler import NULL_PROFILER`` without
+cycles; runners/trend/CLI live in their own modules.
+"""
+
+from repro.prof.profiler import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    install_profiler,
+    merge_tables,
+    render_table,
+    top_shares,
+)
+
+__all__ = [
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "install_profiler",
+    "merge_tables",
+    "render_table",
+    "top_shares",
+]

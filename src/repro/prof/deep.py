@@ -1,0 +1,196 @@
+"""Deep profiling: exact collapsed call stacks via ``sys.setprofile``.
+
+Where the attribution layer (:mod:`repro.prof.profiler`) buckets wall
+time into a dozen kernel subsystems, deep mode records *every* Python
+and C call boundary and charges the interval since the previous boundary
+to the full call path — the classic collapsed-stack representation that
+flamegraphs (:mod:`repro.prof.flame`) and top-N hot-function tables are
+derived from.
+
+Like the attribution hooks, a :class:`DeepProfiler` only reads
+``time.perf_counter`` and mutates plain dicts: it cannot perturb the
+simulated schedule (sys.setprofile slows the run 3–10×, but identically
+— event order is wall-clock independent).  Each parallel worker runs its
+own instance in its own process; collapsed dicts merge by key addition
+(:func:`merge_collapsed`), mirroring the digest merge.
+
+A thin :func:`run_cprofile` wrapper is provided for when pstats-style
+cumulative output is preferred over collapsed stacks.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from time import perf_counter
+from typing import Any, Callable
+
+#: Stacks deeper than this are truncated at the root end so pathological
+#: recursion cannot make every sample a unique key.
+MAX_DEPTH = 64
+
+
+def _frame_label(frame: Any) -> str:
+    code = frame.f_code
+    fname = code.co_filename
+    # Keep the last two path components: "repro/sim/loop.py" -> "sim/loop.py".
+    parts = fname.replace("\\", "/").rsplit("/", 2)
+    short = "/".join(parts[-2:])
+    qual = getattr(code, "co_qualname", code.co_name)
+    return f"{short}:{qual}"
+
+
+class DeepProfiler:
+    """Collapsed-stack wall profiler over ``sys.setprofile``.
+
+    Usage::
+
+        deep = DeepProfiler()
+        deep.start()
+        ...   # the code under measurement
+        deep.stop()
+        deep.collapsed   # {"a;b;c": seconds, ...}
+    """
+
+    def __init__(self) -> None:
+        #: Semicolon-joined call path -> exclusive wall seconds.
+        self.collapsed: dict[str, float] = {}
+        #: Stack of path keys; ``_paths[-1]`` is the current call path.
+        self._paths: list[str] = [""]
+        self._depth = 0
+        self._last = 0.0
+        self._active = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._active:
+            return
+        self._active = True
+        self._last = perf_counter()
+        sys.setprofile(self._dispatch)
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        sys.setprofile(None)
+        self._active = False
+        self._charge(perf_counter())
+        # Drop bookkeeping of frames still on the stack at stop time.
+        self._paths = [""]
+        self._depth = 0
+
+    def _charge(self, now: float) -> None:
+        path = self._paths[-1]
+        if path:
+            self.collapsed[path] = (
+                self.collapsed.get(path, 0.0) + now - self._last
+            )
+        self._last = now
+
+    # -- sys.setprofile callback ----------------------------------------
+    def _dispatch(self, frame: Any, event: str, arg: Any) -> None:
+        now = perf_counter()
+        paths = self._paths
+        path = paths[-1]
+        if path:
+            self.collapsed[path] = (
+                self.collapsed.get(path, 0.0) + now - self._last
+            )
+        if event == "call":
+            self._depth += 1
+            if self._depth <= MAX_DEPTH:
+                label = _frame_label(frame)
+                paths.append(path + ";" + label if path else label)
+        elif event == "return":
+            if self._depth <= MAX_DEPTH and len(paths) > 1:
+                paths.pop()
+            self._depth -= 1
+        elif event == "c_call":
+            self._depth += 1
+            if self._depth <= MAX_DEPTH:
+                label = "c:" + (
+                    (getattr(arg, "__module__", "") or "")
+                    + "."
+                    + getattr(arg, "__name__", "builtin")
+                ).lstrip(".")
+                paths.append(path + ";" + label if path else label)
+        elif event in ("c_return", "c_exception"):
+            if self._depth <= MAX_DEPTH and len(paths) > 1:
+                paths.pop()
+            self._depth -= 1
+        self._last = perf_counter()
+
+    # -- derived views ---------------------------------------------------
+    def total(self) -> float:
+        return sum(self.collapsed.values())
+
+
+def merge_collapsed(dicts: list[dict[str, float]]) -> dict[str, float]:
+    """Sum collapsed-stack dicts (per-worker profiles into one report)."""
+    merged: dict[str, float] = {}
+    for d in dicts:
+        for path, seconds in d.items():
+            merged[path] = merged.get(path, 0.0) + float(seconds)
+    return merged
+
+
+def top_functions(
+    collapsed: dict[str, float], n: int = 20
+) -> list[dict[str, float]]:
+    """Hottest functions by *exclusive* (leaf) wall time.
+
+    A path's time belongs to its leaf frame; summing over all paths with
+    the same leaf ranks functions by self time — the list a compile-the-
+    hot-path effort works down.
+    """
+    self_time: dict[str, float] = {}
+    calls_seen: dict[str, int] = {}
+    for path, seconds in collapsed.items():
+        leaf = path.rsplit(";", 1)[-1]
+        self_time[leaf] = self_time.get(leaf, 0.0) + seconds
+        calls_seen[leaf] = calls_seen.get(leaf, 0) + 1
+    total = sum(self_time.values()) or 1.0
+    ranked = sorted(self_time.items(), key=lambda kv: -kv[1])[:n]
+    return [
+        {
+            "function": fn,
+            "self_s": seconds,
+            "share": seconds / total,
+            "paths": calls_seen[fn],
+        }
+        for fn, seconds in ranked
+    ]
+
+
+def render_top(top: list[dict[str, float]]) -> str:
+    lines = [f"{'function':<64} {'self':>9}  {'share':>6}"]
+    for row in top:
+        lines.append(
+            f"{row['function']:<64} {row['self_s']:>8.3f}s  {row['share']:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def run_cprofile(
+    fn: Callable[[], Any], pstats_path: str, top: int = 30
+) -> tuple[Any, str]:
+    """Run ``fn`` under :mod:`cProfile`; dump stats and return a summary.
+
+    Returns ``(fn's result, cumulative-time summary text)``.  The raw
+    stats file at ``pstats_path`` opens with ``python -m pstats`` or
+    snakeviz-style viewers.
+    """
+    import io
+
+    profile = cProfile.Profile()
+    profile.enable()
+    try:
+        result = fn()
+    finally:
+        profile.disable()
+    profile.dump_stats(pstats_path)
+    buf = io.StringIO()
+    stats = pstats.Stats(profile, stream=buf)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result, buf.getvalue()

@@ -1,0 +1,134 @@
+"""Flamegraph rendering: collapsed stacks -> standalone inline-SVG HTML.
+
+Follows the ``repro.obs.html`` philosophy: artifacts are single
+self-contained files (inline SVG + CSS, no JavaScript dependencies, no
+external assets) that open anywhere, diff cleanly, and live happily in
+a results directory next to RunReports and BENCH rows.
+
+Also writes the standard collapsed-stack text format (``path 123`` with
+integer microsecond counts), which feeds Brendan Gregg's
+``flamegraph.pl`` or speedscope directly if fancier tooling is wanted.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Any
+
+_ROW_H = 18
+_WIDTH = 1200
+_MIN_W = 0.4  # px; rects thinner than this are dropped (sub-pixel noise)
+
+_CSS = """
+body { font: 13px/1.5 -apple-system, 'Segoe UI', sans-serif;
+       color: #1c2733; margin: 24px auto; max-width: 1240px; }
+h1 { font-size: 19px; } .sub { color: #5b6b7b; margin-bottom: 18px; }
+svg { border: 1px solid #dde4ea; background: #fbfcfd; width: 100%; }
+rect { stroke: #fbfcfd; stroke-width: 0.5; }
+text { font: 10px monospace; fill: #202830; pointer-events: none; }
+"""
+
+
+def write_collapsed(path: str, collapsed: dict[str, float]) -> None:
+    """Write ``stack count`` lines (counts are integer microseconds)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for stack in sorted(collapsed):
+            micros = int(round(collapsed[stack] * 1e6))
+            if micros > 0:
+                fh.write(f"{stack} {micros}\n")
+
+
+def _build_tree(collapsed: dict[str, float]) -> dict[str, Any]:
+    """Fold collapsed paths into a {name, self, children} trie."""
+    root: dict[str, Any] = {"name": "all", "self": 0.0, "children": {}}
+    for path, seconds in collapsed.items():
+        node = root
+        for frame in path.split(";"):
+            node = node["children"].setdefault(
+                frame, {"name": frame, "self": 0.0, "children": {}}
+            )
+        node["self"] += seconds
+    return root
+
+
+def _total(node: dict[str, Any]) -> float:
+    return node["self"] + sum(_total(c) for c in node["children"].values())
+
+
+def _color(name: str) -> str:
+    # Deterministic warm palette keyed by the frame name (no RNG: the
+    # artifact is byte-stable for a given profile).
+    h = 0
+    for ch in name:
+        h = (h * 31 + ord(ch)) & 0xFFFFFF
+    r = 205 + (h % 50)
+    g = 80 + ((h >> 8) % 110)
+    b = 40 + ((h >> 16) % 40)
+    return f"rgb({r},{g},{b})"
+
+
+def _layout(
+    node: dict[str, Any],
+    x: float,
+    depth: int,
+    px_per_s: float,
+    rects: list[str],
+    max_depth: list[int],
+) -> float:
+    width = _total(node) * px_per_s
+    if width < _MIN_W:
+        return 0.0
+    if depth >= 0:  # depth -1 is the synthetic root (not drawn)
+        y = depth * _ROW_H
+        name = node["name"]
+        seconds = _total(node)
+        title = _html.escape(f"{name} — {seconds:.4f}s", quote=True)
+        rects.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{width:.2f}" height="{_ROW_H - 1}"'
+            f' fill="{_color(name)}"><title>{title}</title></rect>'
+        )
+        if width > 40:
+            label = _html.escape(name[: max(4, int(width / 6.2))])
+            rects.append(
+                f'<text x="{x + 3:.2f}" y="{y + 13}">{label}</text>'
+            )
+        if depth > max_depth[0]:
+            max_depth[0] = depth
+    child_x = x
+    for child in sorted(node["children"].values(), key=lambda c: c["name"]):
+        child_x += _layout(child, child_x, depth + 1, px_per_s, rects, max_depth)
+    return width
+
+
+def render_flame_html(
+    collapsed: dict[str, float], title: str = "flamegraph"
+) -> str:
+    """A standalone HTML flamegraph (icicle layout, root on top)."""
+    total = sum(collapsed.values())
+    rects: list[str] = []
+    max_depth = [0]
+    if total > 0:
+        root = _build_tree(collapsed)
+        _layout(root, 0.0, -1, _WIDTH / total, rects, max_depth)
+    height = (max_depth[0] + 1) * _ROW_H
+    svg = (
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {_WIDTH} {height}"'
+        f' height="{height}">' + "".join(rects) + "</svg>"
+    )
+    safe_title = _html.escape(title)
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        f"<title>{safe_title}</title><style>{_CSS}</style></head><body>"
+        f"<h1>{safe_title}</h1>"
+        f"<p class='sub'>total sampled wall: {total:.3f}s — "
+        f"{len(collapsed)} distinct stacks — width &prop; wall time, "
+        "hover a frame for its inclusive total</p>"
+        f"{svg}</body></html>"
+    )
+
+
+def write_flame_html(
+    path: str, collapsed: dict[str, float], title: str = "flamegraph"
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_flame_html(collapsed, title))

@@ -1,0 +1,180 @@
+"""Cross-PR performance trend analytics over ``BENCH_*.json`` files.
+
+Every perf-gate run records a ``BENCH_PR<n>.json`` snapshot (a list of
+``{bench, wall_s, events_per_s, sim_tput}`` rows — see
+:mod:`repro.perf.harness`).  This module lines those snapshots up in PR
+order and answers the longitudinal question the single-baseline gate of
+:mod:`repro.perf.compare` cannot: how has each benchmark's throughput
+moved across the whole stack of PRs, and where did it step down?
+
+A *regression* here is a drop in ``events_per_s`` of more than
+``threshold`` (default 15%) between a benchmark's two *consecutive
+appearances* — benches come and go across PRs (quick vs full suites), so
+consecutive means consecutive among the snapshots that actually contain
+the bench.  Rows with ``events_per_s == 0`` (pure wall benches) fall
+back to comparing wall time instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+
+#: Default allowed events/s drop between consecutive appearances.
+DEFAULT_THRESHOLD = 0.15
+
+_BENCH_FILE = re.compile(r"^BENCH_(\w+)\.json$")
+_PR_RANK = re.compile(r"PR(\d+)")
+
+
+def find_snapshots(root: str) -> list[tuple[str, str]]:
+    """All ``BENCH_*.json`` under ``root`` as ``(tag, path)``, PR order.
+
+    Ordering matches :func:`repro.perf.compare.find_baseline`: ascending
+    PR number parsed from the tag, modification time as the tiebreak for
+    tags without one — so the series reads oldest PR to newest.
+    """
+    found = []
+    for entry in os.listdir(root):
+        match = _BENCH_FILE.match(entry)
+        if not match:
+            continue
+        tag = match.group(1)
+        path = os.path.join(root, entry)
+        pr_match = _PR_RANK.search(tag)
+        pr_rank = int(pr_match.group(1)) if pr_match else -1
+        found.append((pr_rank, os.path.getmtime(path), tag, path))
+    return [(tag, path) for _, _, tag, path in sorted(found)]
+
+
+@dataclass
+class TrendPoint:
+    """One benchmark's row in one snapshot."""
+
+    tag: str
+    wall_s: float
+    events_per_s: float
+
+    @property
+    def metric(self) -> float:
+        """events/s when measured, else wall (pure wall-clock benches)."""
+        return self.events_per_s if self.events_per_s > 0 else 0.0
+
+
+@dataclass
+class TrendRegression:
+    """A >threshold events/s drop between consecutive appearances."""
+
+    bench: str
+    prev: TrendPoint
+    curr: TrendPoint
+
+    @property
+    def drop(self) -> float:
+        if self.prev.events_per_s <= 0:
+            return 0.0
+        return 1.0 - self.curr.events_per_s / self.prev.events_per_s
+
+    def __str__(self) -> str:
+        return (
+            f"{self.bench}: {self.prev.events_per_s:,.0f} -> "
+            f"{self.curr.events_per_s:,.0f} events/s "
+            f"({self.prev.tag} -> {self.curr.tag}, -{self.drop * 100:.1f}%)"
+        )
+
+
+@dataclass
+class TrendReport:
+    """Per-bench series plus the regressions the series expose."""
+
+    tags: list[str]
+    series: dict[str, list[TrendPoint]]
+    regressions: list[TrendRegression] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"snapshots (PR order): {', '.join(self.tags)}", ""]
+        width = max((len(b) for b in self.series), default=5)
+        for bench, points in sorted(self.series.items()):
+            cells = []
+            for pt in points:
+                if pt.events_per_s > 0:
+                    cells.append(f"{pt.tag}={pt.events_per_s:,.0f}/s")
+                else:
+                    cells.append(f"{pt.tag}={pt.wall_s:.2f}s")
+            lines.append(f"{bench:<{width}}  " + "  ".join(cells))
+        lines.append("")
+        if self.regressions:
+            lines.append(f"{len(self.regressions)} regression(s) beyond threshold:")
+            lines += [f"  {reg}" for reg in self.regressions]
+        else:
+            lines.append("no events/s regressions beyond threshold")
+        return "\n".join(lines)
+
+    def render_markdown(self, threshold: float = DEFAULT_THRESHOLD) -> str:
+        """The committed-table form (EXPERIMENTS.md)."""
+        flagged = {(r.bench, r.curr.tag) for r in self.regressions}
+        header = "| bench | " + " | ".join(self.tags) + " |"
+        rule = "|---" * (len(self.tags) + 1) + "|"
+        rows = [header, rule]
+        for bench, points in sorted(self.series.items()):
+            by_tag = {pt.tag: pt for pt in points}
+            cells = []
+            for tag in self.tags:
+                pt = by_tag.get(tag)
+                if pt is None:
+                    cells.append("—")
+                elif pt.events_per_s > 0:
+                    cell = f"{pt.events_per_s:,.0f}/s"
+                    if (bench, tag) in flagged:
+                        cell = f"**{cell}** ⚠"
+                    cells.append(cell)
+                else:
+                    cells.append(f"{pt.wall_s:.2f}s wall")
+            rows.append(f"| {bench} | " + " | ".join(cells) + " |")
+        rows.append("")
+        if self.regressions:
+            rows.append(
+                f"Flagged (⚠): events/s drop >{threshold * 100:.0f}% vs the "
+                "bench's previous appearance."
+            )
+        else:
+            rows.append(
+                f"No bench dropped more than {threshold * 100:.0f}% events/s "
+                "between consecutive appearances."
+            )
+        return "\n".join(rows)
+
+
+def build_trend(
+    root: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    bench_filter: str | None = None,
+) -> TrendReport:
+    """Assemble the cross-PR trend for every bench under ``root``."""
+    snapshots = find_snapshots(root)
+    tags = [tag for tag, _ in snapshots]
+    series: dict[str, list[TrendPoint]] = {}
+    for tag, path in snapshots:
+        with open(path) as fh:
+            rows = json.load(fh)
+        for row in rows:
+            bench = row["bench"]
+            if bench_filter and bench_filter not in bench:
+                continue
+            series.setdefault(bench, []).append(
+                TrendPoint(
+                    tag=tag,
+                    wall_s=float(row.get("wall_s", 0.0)),
+                    events_per_s=float(row.get("events_per_s", 0.0)),
+                )
+            )
+    regressions: list[TrendRegression] = []
+    for bench, points in sorted(series.items()):
+        measured = [pt for pt in points if pt.events_per_s > 0]
+        for prev, curr in zip(measured, measured[1:]):
+            reg = TrendRegression(bench, prev, curr)
+            if reg.drop > threshold:
+                regressions.append(reg)
+    return TrendReport(tags=tags, series=series, regressions=regressions)

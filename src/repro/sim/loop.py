@@ -36,6 +36,7 @@ from collections import deque
 from typing import Any, Awaitable, Callable, Coroutine, Generator, Iterable
 
 from repro.errors import SimTimeoutError, SimulationError
+from repro.prof.profiler import NULL_PROFILER
 from repro.sim.monitor import NULL_METRICS
 from repro.trace.tracer import NULL_TRACER
 
@@ -213,6 +214,20 @@ class Task(Future):
     def _step(self, value: Any, exc: BaseException | None) -> None:
         if self._result is not _PENDING or self._exception is not None:
             return
+        profiler = self._sim.profiler
+        if profiler.enabled:
+            # Trampoline segments are the protocol-logic bucket: everything
+            # a coroutine does between suspensions lands in "task.step",
+            # minus nested frames (cpu.spend, network.send, crypto.*).
+            profiler.begin("task.step")
+            try:
+                self._advance(value, exc)
+            finally:
+                profiler.end()
+        else:
+            self._advance(value, exc)
+
+    def _advance(self, value: Any, exc: BaseException | None) -> None:
         coro = self._coro
         # Iterative trampoline: an awaited future that is already complete
         # resumes the coroutine in this same frame instead of recursing
@@ -326,6 +341,10 @@ class Simulator:
         #: Metrics hook; NULL_METRICS likewise records nothing (see
         #: repro.obs).  Neither hook may schedule events or draw RNG.
         self.metrics = NULL_METRICS
+        #: Wall-clock attribution hook; NULL_PROFILER records nothing
+        #: (see repro.prof).  A real profiler only reads perf_counter —
+        #: it can never perturb the schedule.
+        self.profiler = NULL_PROFILER
 
     def attach_tracer(self, tracer: Any) -> Any:
         """Install a :class:`repro.trace.Tracer`; returns it for chaining."""
@@ -337,6 +356,11 @@ class Simulator:
         """Install a :class:`repro.obs.MetricsRegistry`; returns it."""
         self.metrics = registry
         return registry
+
+    def attach_profiler(self, profiler: Any) -> Any:
+        """Install a :class:`repro.prof.Profiler`; returns it for chaining."""
+        self.profiler = profiler
+        return profiler
 
     # ------------------------------------------------------------------
     # Randomness
@@ -371,7 +395,13 @@ class Simulator:
         if when < self.now:
             raise SimulationError(f"cannot schedule into the past ({when} < {self.now})")
         handle = EventHandle(self, when, fn, args)
-        heapq.heappush(self._queue, (when, self._seq, handle))
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("kernel.heap_push")
+            heapq.heappush(self._queue, (when, self._seq, handle))
+            profiler.end()
+        else:
+            heapq.heappush(self._queue, (when, self._seq, handle))
         self._seq += 1
         return handle
 
@@ -383,7 +413,13 @@ class Simulator:
         now = self.now
         when = now + delay if delay > 0.0 else now
         handle = EventHandle(self, when, fn, args)
-        heapq.heappush(self._queue, (when, self._seq, handle))
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("kernel.heap_push")
+            heapq.heappush(self._queue, (when, self._seq, handle))
+            profiler.end()
+        else:
+            heapq.heappush(self._queue, (when, self._seq, handle))
         self._seq += 1
         return handle
 
@@ -525,6 +561,10 @@ class Simulator:
         on exhaustion the offending event stays queued, so a caller that
         catches :class:`SimulationError` and resumes loses nothing.
         """
+        if self.profiler.enabled:
+            # Branch once per run() call, not per event: the unprofiled
+            # loop below stays exactly as hot as before.
+            return self._run_profiled(until, max_events)
         queue = self._queue
         pop = heapq.heappop
         while queue:
@@ -548,8 +588,55 @@ class Simulator:
         if until is not None:
             self.now = max(self.now, until)
 
+    def _run_profiled(self, until: float | None, max_events: int | None) -> None:
+        """:meth:`run` with per-dispatch attribution frames.
+
+        Identical control flow to the unprofiled loop — same pop order,
+        same tombstone skipping, same ``max_events`` semantics — plus a
+        ``kernel.loop`` frame around the whole run (its exclusive time is
+        the heap-pop/bookkeeping overhead) and one frame per dispatched
+        callback, classified by target (``cpu.finish``,
+        ``network.deliver``, ``timer.sleep``, ``dispatch.<qualname>``).
+        """
+        profiler = self.profiler
+        queue = self._queue
+        pop = heapq.heappop
+        classify = profiler.classify
+        begin = profiler.begin
+        end = profiler.end
+        begin("kernel.loop")
+        try:
+            while queue:
+                when, _seq, ev = queue[0]
+                if until is not None and when > until:
+                    self.now = max(self.now, until)
+                    return
+                fn = ev._fn
+                if fn is None:  # tombstoned (cancelled) timer
+                    pop(queue)
+                    continue
+                if max_events is not None and self._events_processed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                pop(queue)
+                args = ev._args
+                ev._fn = None
+                ev._args = None
+                self.now = when
+                self._events_processed += 1
+                begin(classify(fn))
+                try:
+                    fn(*args)
+                finally:
+                    end()
+            if until is not None:
+                self.now = max(self.now, until)
+        finally:
+            end()
+
     def run_until_complete(self, awaitable: Awaitable[Any], max_events: int | None = None) -> Any:
         """Drive the loop until ``awaitable`` completes; return its result."""
+        if self.profiler.enabled:
+            return self._run_until_complete_profiled(awaitable, max_events)
         fut = self.ensure_future(awaitable)
         queue = self._queue
         pop = heapq.heappop
@@ -572,4 +659,44 @@ class Simulator:
             self.now = when
             self._events_processed += 1
             fn(*args)
+        return fut.result()
+
+    def _run_until_complete_profiled(
+        self, awaitable: Awaitable[Any], max_events: int | None
+    ) -> Any:
+        """:meth:`run_until_complete` with per-dispatch attribution frames."""
+        profiler = self.profiler
+        fut = self.ensure_future(awaitable)
+        queue = self._queue
+        pop = heapq.heappop
+        classify = profiler.classify
+        begin = profiler.begin
+        end = profiler.end
+        begin("kernel.loop")
+        try:
+            while not fut.done():
+                if not queue:
+                    raise SimulationError(
+                        "deadlock: event queue drained but awaited future is pending"
+                    )
+                when, _seq, ev = queue[0]
+                fn = ev._fn
+                if fn is None:
+                    pop(queue)
+                    continue
+                if max_events is not None and self._events_processed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                pop(queue)
+                args = ev._args
+                ev._fn = None
+                ev._args = None
+                self.now = when
+                self._events_processed += 1
+                begin(classify(fn))
+                try:
+                    fn(*args)
+                finally:
+                    end()
+        finally:
+            end()
         return fut.result()

@@ -178,6 +178,20 @@ class Network:
     # -- sending ----------------------------------------------------------
     def send(self, src: Node, dst: str, message: Any) -> None:
         """Fire-and-forget unicast from ``src`` to the node named ``dst``."""
+        profiler = self.sim.profiler
+        if profiler.enabled:
+            # Covers the full send path — latency sampling, adversary,
+            # and the cross-partition leg (``_send_remote`` runs inside
+            # this frame); scheduling lands in the nested heap_push frame.
+            profiler.begin("network.send")
+            try:
+                self._send(src, dst, message)
+            finally:
+                profiler.end()
+        else:
+            self._send(src, dst, message)
+
+    def _send(self, src: Node, dst: str, message: Any) -> None:
         metrics = self.sim.metrics
         if dst in self._remote:
             self._send_remote(src, dst, message)

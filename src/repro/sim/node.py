@@ -72,6 +72,16 @@ class Cpu:
         if cost <= 0.0:
             return DONE
         sim = self.sim
+        profiler = sim.profiler
+        if profiler.enabled:
+            profiler.begin("cpu.spend")
+            try:
+                return self._spend(sim, cost)
+            finally:
+                profiler.end()
+        return self._spend(sim, cost)
+
+    def _spend(self, sim: Simulator, cost: float) -> Future:
         enqueued = sim.now if sim.tracer.enabled else 0.0
         fut = Future()
         if self._free > 0 and not self._pending:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Generic, Hashable, Iterable, TypeVar
 
 from repro.errors import StorageError
+from repro.prof.profiler import NULL_PROFILER
 
 TS = TypeVar("TS")
 Key = Hashable
@@ -62,6 +63,13 @@ class _KeyState:
 
 class VersionStore(Generic[TS]):
     """Multiversion store for one replica (or one baseline shard server)."""
+
+    #: Wall-clock attribution hook (see repro.prof).  The store has no
+    #: simulator reference, so ``install_profiler`` points this class
+    #: attribute's per-instance override at the run's profiler; the
+    #: default NULL_PROFILER keeps the probe hot paths one attribute
+    #: read away from unprofiled.
+    profiler = NULL_PROFILER
 
     def __init__(self) -> None:
         self._keys: dict[Key, _KeyState] = {}
@@ -131,6 +139,16 @@ class VersionStore(Generic[TS]):
     # ------------------------------------------------------------------
     def latest_committed(self, key: Key, before: TS) -> Version | None:
         """Highest-timestamped committed version with ts < ``before``."""
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("store.probe")
+            try:
+                return self._latest_committed(key, before)
+            finally:
+                profiler.end()
+        return self._latest_committed(key, before)
+
+    def _latest_committed(self, key: Key, before: TS) -> Version | None:
         state = self._keys.get(key)
         if not state or not state.committed:
             return None
@@ -141,6 +159,16 @@ class VersionStore(Generic[TS]):
 
     def latest_prepared(self, key: Key, before: TS) -> Version | None:
         """Highest-timestamped prepared version with ts < ``before``."""
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("store.probe")
+            try:
+                return self._latest_prepared(key, before)
+            finally:
+                profiler.end()
+        return self._latest_prepared(key, before)
+
+    def _latest_prepared(self, key: Key, before: TS) -> Version | None:
         state = self._keys.get(key)
         if not state or not state.prepared:
             return None
@@ -151,6 +179,17 @@ class VersionStore(Generic[TS]):
 
     def update_rts(self, key: Key, timestamp: TS) -> None:
         """Record a read reservation at ``timestamp`` (idempotent)."""
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("store.probe")
+            try:
+                self._update_rts(key, timestamp)
+            finally:
+                profiler.end()
+            return
+        self._update_rts(key, timestamp)
+
+    def _update_rts(self, key: Key, timestamp: TS) -> None:
         state = self._state(key)
         idx = bisect.bisect_left(state.rts, timestamp)
         if idx < len(state.rts) and state.rts[idx] == timestamp:
@@ -227,6 +266,16 @@ class VersionStore(Generic[TS]):
         MVTSO-Check step 3: a write in this window means transaction with
         read (key, version=low) and timestamp high missed it.
         """
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("store.probe")
+            try:
+                return self._writes_between(key, low, high)
+            finally:
+                profiler.end()
+        return self._writes_between(key, low, high)
+
+    def _writes_between(self, key: Key, low: TS, high: TS) -> list[Version]:
         state = self._keys.get(key)
         if not state:
             return []
@@ -247,6 +296,16 @@ class VersionStore(Generic[TS]):
         MVTSO-Check step 4: such a reader should have observed our write
         but could not have.
         """
+        profiler = self.profiler
+        if profiler.enabled:
+            profiler.begin("store.probe")
+            try:
+                return self._reads_spanning(key, write_ts)
+            finally:
+                profiler.end()
+        return self._reads_spanning(key, write_ts)
+
+    def _reads_spanning(self, key: Key, write_ts: TS) -> list[tuple[Any, Any, bytes]]:
         state = self._keys.get(key)
         if not state:
             return []

@@ -1,0 +1,74 @@
+"""Exporter edge cases: empty registries, reserved characters, histograms.
+
+The happy-path exposition format is pinned in test_registry.py; these
+tests cover the corners an exporter meets in practice — a registry with
+nothing in it, label values containing the characters the Prometheus
+text format reserves (backslash, double quote, newline), and registries
+holding only histograms.
+"""
+
+import json
+
+from repro.obs.registry import (
+    MetricsRegistry,
+    _prom_escape,
+    prometheus_text,
+    series_jsonl,
+)
+from repro.obs.ticker import TimeSeries
+
+
+def test_prometheus_text_empty_registry():
+    """No metrics -> no rows, but still a well-formed (newline) payload."""
+    text = prometheus_text(MetricsRegistry())
+    assert text == "\n"
+    assert "# TYPE" not in text
+
+
+def test_prom_escape_reserved_characters():
+    assert _prom_escape('say "hi"') == 'say \\"hi\\"'
+    assert _prom_escape("a\\b") == "a\\\\b"
+    assert _prom_escape("line1\nline2") == "line1\\nline2"
+    assert _prom_escape("plain") == "plain"
+
+
+def test_prometheus_text_escapes_label_values():
+    reg = MetricsRegistry()
+    reg.counter("evil_total", path='C:\\tmp', note='say "hi"\nbye').add(1)
+    text = prometheus_text(reg)
+    # One metric line (plus TYPE): the newline must be escaped, not raw.
+    metric_lines = [l for l in text.splitlines() if l.startswith("evil_total")]
+    assert len(metric_lines) == 1
+    line = metric_lines[0]
+    assert 'path="C:\\\\tmp"' in line
+    assert 'note="say \\"hi\\"\\nbye"' in line
+    assert "\n" not in line
+
+
+def test_prometheus_text_histogram_only_registry():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", op="commit")
+    for v in (0.1, 0.2, 0.9):
+        h.record(v)
+    text = prometheus_text(reg)
+    assert "# TYPE lat summary" in text
+    assert 'lat{op="commit",quantile="0.5"}' in text
+    assert 'lat_count{op="commit"} 3' in text
+    # No counter/gauge rows sneak in.
+    assert "# TYPE" in text and text.count("# TYPE") == 1
+
+
+def test_prometheus_text_quantile_label_sorted_with_escapes():
+    """Histogram quantile label merges into existing labels, sorted."""
+    reg = MetricsRegistry()
+    reg.histogram("h", z="1", a="2").record(1.0)
+    text = prometheus_text(reg)
+    assert 'h{a="2",quantile="0.95",z="1"}' in text
+
+
+def test_series_jsonl_skips_nothing_and_handles_empty_points():
+    series = [TimeSeries("m", {}, [])]
+    text = series_jsonl(series)
+    row = json.loads(text.strip())
+    assert row["name"] == "m"
+    assert row["points"] == []

@@ -114,3 +114,30 @@ def test_recorder_works_on_baselines():
     assert "net_sends_total" in keys
     assert "basil_dependency_wait_depth" not in keys
     assert report.health == "ok"
+
+
+def test_recorder_surfaces_profiler_attribution_in_meta():
+    """A run with an enabled wall-clock profiler lands its top-3 shares
+    in RunReport.meta['prof']; without one, meta stays untouched."""
+    from repro.prof.profiler import install_profiler
+
+    recorder = ObsRecorder(interval=0.01)
+    system = BasilSystem(SystemConfig(f=1, num_shards=1, batch_size=4, seed=7))
+    profiler = install_profiler(system.sim, system)
+    workload = YCSBWorkload(num_keys=300, reads=2, writes=2, distribution="zipfian")
+    runner = ExperimentRunner(
+        system, workload, num_clients=4, duration=0.05, warmup=0.02,
+        name="obs-prof", recorder=recorder,
+    )
+    bench = runner.run()
+    report = recorder.finish("obs-prof", bench=bench)
+    top = report.meta["prof"]["top"]
+    assert len(top) == 3
+    assert {row["subsystem"] for row in top} <= set(profiler.table())
+    assert all(0.0 < row["share"] <= 1.0 for row in top)
+
+    # No profiler -> no prof key injected.
+    recorder2 = ObsRecorder(interval=0.01)
+    bench2, _ = small_run(recorder2, seed=8)
+    report2 = recorder2.finish("obs-plain", bench=bench2)
+    assert "prof" not in report2.meta

@@ -156,3 +156,29 @@ def test_tolerance_is_tunable():
     b.bench = dict(b.bench, throughput=890.0)  # -11%
     assert compare_reports(a, b, tolerance=0.20).ok
     assert not compare_reports(a, b, tolerance=0.05).ok
+
+
+def test_prof_attribution_shift_flagged():
+    """Reports carrying profiler meta diff prof.<subsystem>.share rows;
+    a large shift flags in either direction (a moved hot spot matters
+    as much as a new one)."""
+    prof_a = {"top": [
+        {"subsystem": "task.step", "wall_s": 0.5, "share": 0.5, "calls": 10},
+        {"subsystem": "crypto.sign", "wall_s": 0.1, "share": 0.1, "calls": 5},
+    ]}
+    prof_b = {"top": [
+        {"subsystem": "task.step", "wall_s": 0.3, "share": 0.3, "calls": 10},
+        {"subsystem": "crypto.sign", "wall_s": 0.4, "share": 0.4, "calls": 5},
+    ]}
+    a = make_report(meta={"prof": prof_a})
+    b = make_report(name="run-b", meta={"prof": prof_b})
+    result = compare_reports(a, b)
+    flagged = {d.metric for d in result.flagged}
+    assert "prof.crypto.sign.share" in flagged
+    assert "prof.task.step.share" in flagged
+    assert not result.ok
+
+
+def test_prof_meta_absent_adds_no_rows():
+    result = compare_reports(make_report(), make_report(name="run-b"))
+    assert not any(d.metric.startswith("prof.") for d in result.deltas)

@@ -1,0 +1,109 @@
+"""Deep (Python-level) sampling, collapsed stacks, and flamegraph output."""
+
+import pytest
+
+from repro.prof.deep import (
+    DeepProfiler,
+    merge_collapsed,
+    run_cprofile,
+    top_functions,
+)
+from repro.prof.flame import render_flame_html, write_collapsed, write_flame_html
+
+
+def _busy(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _outer(n: int) -> int:
+    return _busy(n) + _busy(n)
+
+
+def test_deep_profiler_captures_call_paths():
+    deep = DeepProfiler()
+    deep.start()
+    _outer(200_000)
+    deep.stop()
+    assert deep.collapsed, "no stacks captured"
+    assert deep.total() > 0.0
+    busy_paths = [path for path in deep.collapsed if "_busy" in path]
+    assert busy_paths, f"hot function missing from {list(deep.collapsed)[:5]}"
+    # The leaf rides below its caller in at least one path.
+    assert any("_outer" in path and "_busy" in path for path in busy_paths)
+
+
+def test_deep_profiler_stop_is_idempotent_and_restartable():
+    deep = DeepProfiler()
+    deep.start()
+    _busy(10_000)
+    deep.stop()
+    first = deep.total()
+    deep.stop()  # no-op
+    deep.start()
+    _busy(10_000)
+    deep.stop()
+    assert deep.total() >= first
+
+
+def test_merge_collapsed_sums_shared_paths():
+    a = {"f;g": 1.0, "f": 0.5}
+    b = {"f;g": 2.0, "h": 0.25}
+    merged = merge_collapsed([a, b])
+    assert merged["f;g"] == pytest.approx(3.0)
+    assert merged["f"] == pytest.approx(0.5)
+    assert merged["h"] == pytest.approx(0.25)
+    assert merge_collapsed([]) == {}
+
+
+def test_top_functions_ranks_by_self_time():
+    collapsed = {
+        "main;hot": 3.0,
+        "main;warm": 1.0,
+        "main;hot;inner": 0.5,
+    }
+    top = top_functions(collapsed, 2)
+    assert top[0]["function"] == "hot"
+    assert top[0]["self_s"] == pytest.approx(3.0)
+    assert 0.0 < top[0]["share"] <= 1.0
+    assert len(top) == 2
+
+
+def test_write_collapsed_standard_format(tmp_path):
+    path = tmp_path / "stacks.collapsed.txt"
+    write_collapsed(str(path), {"a;b": 0.001234, "a": 0.01})
+    lines = path.read_text().strip().splitlines()
+    # "stack count" with integer microsecond counts, deterministic order.
+    assert lines == ["a 10000", "a;b 1234"]
+
+
+def test_flame_html_renders_standalone_svg(tmp_path):
+    collapsed = {
+        "main;kernel.loop;dispatch": 0.5,
+        "main;kernel.loop": 0.2,
+        "main;crypto": 0.3,
+    }
+    html = render_flame_html(collapsed, title="unit-flame")
+    assert html.startswith("<!DOCTYPE html>" ) or "<html" in html
+    assert "<svg" in html and "</svg>" in html
+    assert "unit-flame" in html
+    assert "kernel.loop" in html
+    assert "<script" not in html  # deterministic, JS-free artifact
+    out = tmp_path / "f.html"
+    write_flame_html(str(out), collapsed, title="unit-flame")
+    assert out.read_text() == html
+
+
+def test_flame_html_deterministic():
+    collapsed = {"a;b": 0.25, "a;c": 0.75}
+    assert render_flame_html(collapsed) == render_flame_html(dict(collapsed))
+
+
+def test_run_cprofile_summary(tmp_path):
+    pstats_path = tmp_path / "out.pstats"
+    result, summary = run_cprofile(lambda: _busy(50_000), str(pstats_path), top=5)
+    assert result == _busy(50_000)
+    assert pstats_path.exists()
+    assert "_busy" in summary

@@ -1,0 +1,99 @@
+"""Profiling must not perturb schedules: digests match with hooks live.
+
+Two pins:
+
+* the sequential golden Basil run (same constants as
+  tests/load/test_determinism.py) produces the exact committed digest
+  with a profiler attached — the attribution hooks read only the wall
+  clock, so the event schedule cannot move;
+* a ``workers=2`` partitioned run is digest- and bench-identical with
+  ``prof`` (and worker-level seams) on vs off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentRunner
+from repro.config import SystemConfig
+from repro.core.system import BasilSystem
+from repro.prof.profiler import install_profiler
+from repro.trace import Tracer
+from repro.trace.export import trace_digest
+from repro.workloads.ycsb import YCSBWorkload
+
+#: Mirrors tests/load/test_determinism.py — the committed sequential pin.
+GOLDEN_BASIL = (
+    "c8da3e42f0e29d8ed4231724e672d0d12f22b5cd37f1aae8e701881df4f6de43",
+    16,
+    14,
+    14879,
+)
+
+
+def _golden_run(profile: bool):
+    config = SystemConfig(f=1, num_shards=1, batch_size=4, seed=7)
+    system = BasilSystem(config)
+    tracer = system.sim.attach_tracer(Tracer())
+    profiler = install_profiler(system.sim, system) if profile else None
+    workload = YCSBWorkload(num_keys=300, reads=2, writes=2, distribution="zipfian")
+    runner = ExperimentRunner(
+        system, workload, num_clients=4, duration=0.05, warmup=0.02,
+        tracer=tracer,
+    )
+    result = runner.run()
+    return (
+        (trace_digest(tracer), result.commits, result.aborts,
+         system.sim.events_processed),
+        profiler,
+    )
+
+
+def test_profiled_sequential_run_matches_golden_digest():
+    observed, profiler = _golden_run(profile=True)
+    assert observed == GOLDEN_BASIL
+    table = profiler.table()
+    # The hooks actually fired: kernel + protocol subsystems attributed.
+    for sub in ("task.step", "kernel.loop", "cpu.spend", "network.send",
+                "store.probe", "crypto.sign"):
+        assert sub in table, f"{sub} missing from {list(table)}"
+    assert profiler.total() > 0.0
+
+
+def _parallel_digest(prof: bool, workers: int = 2):
+    from repro.parallel import ParallelRunner
+    from repro.parallel.models import ModelSpec
+
+    spec = ModelSpec(
+        kind="basil",
+        config=SystemConfig(f=1, num_shards=2, seed=2024),
+        workload="ycsb-t",
+        workload_keys=300,
+        num_clients=4,
+        duration=0.02,
+        warmup=0.005,
+        prof=prof,
+    )
+    return ParallelRunner(spec, workers=workers).run()
+
+
+@pytest.mark.prof_smoke
+def test_workers2_prof_on_equals_prof_off():
+    base = _parallel_digest(prof=False)
+    profiled = _parallel_digest(prof=True)
+    assert profiled.digest == base.digest
+    assert profiled.events == base.events
+    assert profiled.bench["commits"] == base.bench["commits"]
+    assert profiled.bench["throughput"] == pytest.approx(
+        base.bench["throughput"]
+    )
+    # And the profiled run actually carried profiles: per-partition
+    # attribution plus worker-level exchange seams.
+    assert base.prof == []
+    assert profiled.prof, "worker profiles missing"
+    assert all("exchange.wait" in p["attr"] for p in profiled.prof)
+    tables = [
+        s.get("prof") for s in profiled.per_partition.values()
+    ]
+    assert all(t for t in tables), "per-partition attribution missing"
+    assert any("task.step" in t for t in tables)

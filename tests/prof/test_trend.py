@@ -1,0 +1,89 @@
+"""Trend analytics over synthetic BENCH_*.json stacks."""
+
+import json
+import os
+
+import pytest
+
+from repro.prof.trend import build_trend, find_snapshots
+
+
+def _write(root, tag, rows):
+    with open(os.path.join(root, f"BENCH_{tag}.json"), "w") as fh:
+        json.dump(rows, fh)
+
+
+def _row(bench, events_per_s, wall_s=1.0):
+    return {"bench": bench, "wall_s": wall_s,
+            "events_per_s": events_per_s, "sim_tput": 0.0}
+
+
+def test_snapshots_ordered_by_pr_number(tmp_path):
+    root = str(tmp_path)
+    # Written out of order; PR10 must sort after PR9, not between PR1/PR2.
+    for tag in ("PR10", "PR2", "PR9"):
+        _write(root, tag, [])
+    assert [tag for tag, _ in find_snapshots(root)] == ["PR2", "PR9", "PR10"]
+
+
+def test_trend_flags_drop_beyond_threshold(tmp_path):
+    root = str(tmp_path)
+    _write(root, "PR1", [_row("kernel", 100_000), _row("steady", 50_000)])
+    _write(root, "PR2", [_row("kernel", 80_000), _row("steady", 49_000)])
+    report = build_trend(root, threshold=0.15)
+    assert [r.bench for r in report.regressions] == ["kernel"]
+    reg = report.regressions[0]
+    assert reg.prev.tag == "PR1" and reg.curr.tag == "PR2"
+    assert reg.drop == pytest.approx(0.2)
+    assert "kernel" in report.render()
+
+
+def test_trend_consecutive_appearances_skip_missing_prs(tmp_path):
+    """A bench absent from a middle PR compares against its previous
+    appearance, not against a hole."""
+    root = str(tmp_path)
+    _write(root, "PR1", [_row("b", 100.0)])
+    _write(root, "PR2", [])  # bench skipped this PR
+    _write(root, "PR3", [_row("b", 50.0)])
+    report = build_trend(root)
+    assert len(report.regressions) == 1
+    assert report.regressions[0].prev.tag == "PR1"
+    assert report.regressions[0].curr.tag == "PR3"
+
+
+def test_trend_ignores_zero_events_rows(tmp_path):
+    """Pure wall benches (events_per_s == 0) never produce a division
+    regression; they render as wall seconds instead."""
+    root = str(tmp_path)
+    _write(root, "PR1", [_row("wall-only", 0.0, wall_s=2.0)])
+    _write(root, "PR2", [_row("wall-only", 0.0, wall_s=9.0)])
+    report = build_trend(root)
+    assert report.regressions == []
+    assert "2.00s" in report.render()
+
+
+def test_trend_markdown_table(tmp_path):
+    root = str(tmp_path)
+    _write(root, "PR1", [_row("kernel", 100_000)])
+    _write(root, "PR2", [_row("kernel", 60_000)])
+    md = build_trend(root).render_markdown()
+    assert md.splitlines()[0] == "| bench | PR1 | PR2 |"
+    assert "**60,000/s** ⚠" in md  # flagged cell is bolded + marked
+
+
+def test_trend_bench_filter(tmp_path):
+    root = str(tmp_path)
+    _write(root, "PR1", [_row("kernel-a", 1.0), _row("geo-b", 2.0)])
+    report = build_trend(root, bench_filter="kernel")
+    assert list(report.series) == ["kernel-a"]
+
+
+def test_trend_on_real_repo_snapshots():
+    """The committed BENCH_PR*.json files load and produce a series."""
+    root = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    if not any(f.startswith("BENCH_") for f in os.listdir(root)):
+        return  # snapshots not present in this checkout
+    report = build_trend(root)
+    assert report.tags, "no snapshots found"
+    assert report.series
+    assert report.render_markdown().startswith("| bench |")
